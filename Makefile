@@ -1,0 +1,39 @@
+# Standard entry points for the LEGO reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench benchall fmt examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per paper table/figure, at reduced budgets.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run xxx .
+
+# Regenerate every table/figure at full scale (a few minutes).
+benchall:
+	$(GO) run ./cmd/benchall
+
+fmt:
+	gofmt -w .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/affinity
+	$(GO) run ./examples/compare
+	$(GO) run ./examples/casestudy
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,83 @@
+// Command benchall regenerates every table and figure of the paper's
+// evaluation section and prints them in the paper's layout, together with
+// the expected shape from the paper for side-by-side comparison.
+//
+// Usage:
+//
+//	benchall                  # everything, default budgets
+//	benchall -quick           # scaled-down budgets
+//	benchall -only table3     # one experiment: table1..table4, fig9, length
+//	benchall -execs 50000     # override the per-campaign budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/seqfuzz/lego/internal/experiment"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use scaled-down budgets")
+	only := flag.String("only", "", "run a single experiment: table1, table2, table3, table4, fig9, length")
+	execs := flag.Int("execs", 0, "override the 24h-equivalent execution budget")
+	contExecs := flag.Int("continuous", 0, "override the continuous-fuzzing budget (table1)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	curves := flag.String("curves", "", "write Figure 9 coverage curves as CSV to this file")
+	flag.Parse()
+
+	b := experiment.DefaultBudgets()
+	if *quick {
+		b = experiment.QuickBudgets()
+	}
+	if *execs > 0 {
+		b.DayStmts = *execs
+	}
+	if *contExecs > 0 {
+		b.ContinuousStmts = *contExecs
+	}
+	b.Seed = *seed
+
+	run := func(name string, f func() string) {
+		if *only != "" && *only != name {
+			return
+		}
+		start := time.Now()
+		out := f()
+		fmt.Println(out)
+		fmt.Printf("[%s took %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	run("table1", func() string { return experiment.Table1(b).Format() })
+	run("fig9", func() string {
+		res := experiment.Figure9(b)
+		if *curves != "" {
+			f, err := os.Create(*curves)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "curves: %v\n", err)
+			} else {
+				if err := res.WriteCurvesCSV(f); err != nil {
+					fmt.Fprintf(os.Stderr, "curves: %v\n", err)
+				}
+				f.Close()
+				fmt.Printf("[coverage curves written to %s]\n", *curves)
+			}
+		}
+		return res.Format()
+	})
+	run("table2", func() string { return experiment.Table2(b).Format() })
+	run("table3", func() string { return experiment.Table3(b).Format() })
+	run("table4", func() string { return experiment.Table4(b).Format() })
+	run("length", func() string { return experiment.LengthStudy(b).Format() })
+
+	if *only != "" {
+		switch *only {
+		case "table1", "table2", "table3", "table4", "fig9", "length":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+	}
+}

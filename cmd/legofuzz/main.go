@@ -1,0 +1,79 @@
+// Command legofuzz runs a LEGO fuzzing campaign against one of the built-in
+// DBMS dialect profiles and reports coverage, affinity, and bug statistics.
+//
+// Usage:
+//
+//	legofuzz -target mariadb -budget 500000
+//	legofuzz -target postgres -minus           # LEGO- ablation
+//	legofuzz -target comdb2 -len 8 -seed 7 -repros
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/seqfuzz/lego"
+)
+
+var targets = map[string]lego.Target{
+	"postgres":   lego.PostgreSQL,
+	"postgresql": lego.PostgreSQL,
+	"mysql":      lego.MySQL,
+	"mariadb":    lego.MariaDB,
+	"comdb2":     lego.Comdb2,
+}
+
+func main() {
+	target := flag.String("target", "postgres", "target DBMS profile: postgres, mysql, mariadb, comdb2")
+	budget := flag.Int("budget", 200000, "statement-execution budget")
+	seed := flag.Int64("seed", 1, "RNG seed (campaigns are deterministic per seed)")
+	maxLen := flag.Int("len", 5, "max synthesized sequence length (Algorithm 3's LEN)")
+	minus := flag.Bool("minus", false, "disable sequence-oriented algorithms (LEGO- ablation)")
+	noHazards := flag.Bool("no-hazards", false, "disarm the seeded bug corpus (coverage only)")
+	repros := flag.Bool("repros", false, "print the reproducer SQL of every bug found")
+	flag.Parse()
+
+	d, ok := targets[strings.ToLower(*target)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown target %q (want postgres, mysql, mariadb, or comdb2)\n", *target)
+		os.Exit(2)
+	}
+
+	f := lego.NewFuzzer(lego.Config{
+		Target:                    d,
+		Seed:                      *seed,
+		MaxSequenceLength:         *maxLen,
+		DisableSequenceAlgorithms: *minus,
+		DisableHazards:            *noHazards,
+	})
+
+	name := "LEGO"
+	if *minus {
+		name = "LEGO-"
+	}
+	fmt.Printf("%s fuzzing %s (%d statement types), budget %d statements, seed %d\n",
+		name, d, lego.StatementTypes(d), *budget, *seed)
+
+	start := time.Now()
+	rep := f.Fuzz(*budget)
+	dur := time.Since(start)
+
+	fmt.Printf("\nexecutions : %d test cases (%d statements) in %.2fs (%.0f stmts/s)\n",
+		rep.Executions, rep.Statements, dur.Seconds(), float64(rep.Statements)/dur.Seconds())
+	fmt.Printf("branches   : %d\n", rep.Branches)
+	fmt.Printf("affinities : %d\n", rep.Affinities)
+	fmt.Printf("seed pool  : %d\n", rep.SeedPool)
+	fmt.Printf("bugs       : %d unique\n", len(rep.Bugs))
+	for i, b := range rep.Bugs {
+		fmt.Printf("  %2d. %-18s %-10s %-5s (exec %d)\n", i+1, b.ID, b.Component, b.Kind, b.FoundAtExec)
+		if *repros {
+			fmt.Println("      --- reproducer ---")
+			for _, line := range strings.Split(strings.TrimSpace(b.Reproducer), "\n") {
+				fmt.Println("      " + line)
+			}
+		}
+	}
+}

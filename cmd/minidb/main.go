@@ -1,0 +1,114 @@
+// Command minidb is an interactive SQL shell over the substrate engine —
+// handy for exploring the dialect profiles and the statement types the
+// fuzzer exercises.
+//
+// Usage:
+//
+//	minidb                 # PostgreSQL profile
+//	minidb -target comdb2
+//	echo 'CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;' | minidb
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/seqfuzz/lego"
+)
+
+var targets = map[string]lego.Target{
+	"postgres":   lego.PostgreSQL,
+	"postgresql": lego.PostgreSQL,
+	"mysql":      lego.MySQL,
+	"mariadb":    lego.MariaDB,
+	"comdb2":     lego.Comdb2,
+}
+
+func main() {
+	target := flag.String("target", "postgres", "dialect profile: postgres, mysql, mariadb, comdb2")
+	flag.Parse()
+
+	d, ok := targets[strings.ToLower(*target)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown target %q\n", *target)
+		os.Exit(2)
+	}
+	db := lego.Open(d)
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminal()
+	if interactive {
+		fmt.Printf("minidb (%s profile, %d statement types) — end statements with ';', \\q to quit\n",
+			d, lego.StatementTypes(d))
+	}
+
+	var buf strings.Builder
+	prompt := func() {
+		if interactive {
+			if buf.Len() == 0 {
+				fmt.Print("minidb> ")
+			} else {
+				fmt.Print("   ...> ")
+			}
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == `\q` || trimmed == "quit" || trimmed == "exit") {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			runScript(db, buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+	if buf.Len() > 0 {
+		runScript(db, buf.String())
+	}
+}
+
+func runScript(db *lego.DB, sql string) {
+	results, err := db.ExecScript(sql)
+	for _, res := range results {
+		printResult(res)
+	}
+	if err != nil {
+		fmt.Printf("ERROR: %v\n", err)
+	}
+}
+
+func printResult(res *lego.Result) {
+	if len(res.Columns) > 0 || len(res.Rows) > 0 {
+		if len(res.Columns) > 0 {
+			fmt.Println(strings.Join(res.Columns, " | "))
+			fmt.Println(strings.Repeat("-", len(strings.Join(res.Columns, " | "))))
+		}
+		for _, row := range res.Rows {
+			fmt.Println(strings.Join(row, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+		return
+	}
+	if res.Affected > 0 {
+		fmt.Printf("%s (%d rows affected)\n", res.Msg, res.Affected)
+		return
+	}
+	fmt.Println(res.Msg)
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,47 @@
+// Affinity explorer: run a short campaign on each dialect and dump the
+// type-affinity relation LEGO learned — which statement types meaningfully
+// follow which — plus the correlation between a dialect's statement-type
+// count and the affinities discovered (the paper's Table IV observation).
+// Run with:
+//
+//	go run ./examples/affinity
+package main
+
+import (
+	"fmt"
+
+	"github.com/seqfuzz/lego"
+)
+
+func main() {
+	fmt.Println("== Type-affinity exploration across the four dialect profiles ==")
+	fmt.Println()
+	fmt.Printf("%-12s %6s %11s %9s %6s\n", "dialect", "types", "affinities", "branches", "bugs")
+
+	for _, target := range []lego.Target{lego.PostgreSQL, lego.MySQL, lego.MariaDB, lego.Comdb2} {
+		f := lego.NewFuzzer(lego.Config{Target: target, Seed: 7})
+		rep := f.Fuzz(40000)
+		fmt.Printf("%-12s %6d %11d %9d %6d\n",
+			target.String(), lego.StatementTypes(target), rep.Affinities, rep.Branches, len(rep.Bugs))
+	}
+
+	fmt.Println()
+	fmt.Println("More statement types give affinity analysis more headroom, which is")
+	fmt.Println("why the paper's Table IV correlates type count with both affinity")
+	fmt.Println("increments and coverage improvements (Comdb2, with 24 types, gains least).")
+
+	// Show a few concrete affinities by parsing known-good scripts.
+	fmt.Println()
+	fmt.Println("Affinities extracted from the paper's running examples (Algorithm 2):")
+	for _, sql := range []string{
+		"CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
+		"CREATE TABLE t (a INT); INSERT INTO t VALUES (1); CREATE TRIGGER tg AFTER UPDATE ON t FOR EACH ROW INSERT INTO t VALUES (2); SELECT * FROM t;",
+		"DROP TABLE IF EXISTS t; CREATE TABLE t (a INT); INSERT INTO t VALUES (1); ALTER SYSTEM SET major_freeze = 1;",
+	} {
+		seq, err := lego.ParseTypeSequence(sql)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println("  " + seq)
+	}
+}

@@ -1,0 +1,39 @@
+// Fuzzer comparison: a miniature of the paper's Figure 9 and Table III —
+// LEGO against its own ablation (LEGO-) on every dialect, under an equal
+// statement budget. LEGO- preserves everything except the sequence-oriented
+// algorithms, so the gap isolates the paper's contribution. Run with:
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+
+	"github.com/seqfuzz/lego"
+)
+
+func main() {
+	fmt.Println("== LEGO vs LEGO- (sequence algorithms ablated), equal budgets ==")
+	fmt.Println()
+	fmt.Printf("%-12s %18s %18s %12s\n", "dialect", "branches(-)/(+)", "bugs(-)/(+)", "affinities(+)")
+
+	const budget = 60000
+	for _, target := range []lego.Target{lego.PostgreSQL, lego.MySQL, lego.MariaDB, lego.Comdb2} {
+		minus := lego.NewFuzzer(lego.Config{
+			Target: target, Seed: 11, DisableSequenceAlgorithms: true,
+		}).Fuzz(budget)
+		full := lego.NewFuzzer(lego.Config{Target: target, Seed: 11}).Fuzz(budget)
+
+		fmt.Printf("%-12s %8d / %-8d %7d / %-8d %12d\n",
+			target.String(),
+			minus.Branches, full.Branches,
+			len(minus.Bugs), len(full.Bugs),
+			full.Affinities)
+	}
+
+	fmt.Println()
+	fmt.Println("The sequence-oriented algorithms buy coverage and bugs on every")
+	fmt.Println("dialect: type substitution/insertion/deletion explores new affinities,")
+	fmt.Println("and progressive synthesis turns each affinity into many short,")
+	fmt.Println("type-diverse test cases that single-statement mutation never builds.")
+}

@@ -1,0 +1,3 @@
+module github.com/seqfuzz/lego
+
+go 1.22

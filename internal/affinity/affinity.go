@@ -1,0 +1,122 @@
+// Package affinity implements type-affinity analysis (paper §III-A,
+// Algorithm 2). A type-affinity is the partially ordered tuple
+// (type1, type2): statements of type1 can meaningfully be followed by
+// statements of type2. Affinities are harvested from the SQL Type Sequences
+// of test cases that covered new branches, and drive progressive sequence
+// synthesis (package seqsynth).
+package affinity
+
+import (
+	"sort"
+
+	"github.com/seqfuzz/lego/internal/sqlt"
+)
+
+// Pair is one type-affinity (t1 could be followed by t2).
+type Pair struct {
+	From sqlt.Type
+	To   sqlt.Type
+}
+
+// String renders the affinity in arrow notation.
+func (p Pair) String() string { return p.From.String() + " -> " + p.To.String() }
+
+// Map is the type-affinity map T of Algorithm 2: key statement type ->
+// set of statement types that may follow it.
+type Map struct {
+	m     map[sqlt.Type]map[sqlt.Type]bool
+	count int
+}
+
+// NewMap returns an empty affinity map.
+func NewMap() *Map {
+	return &Map{m: map[sqlt.Type]map[sqlt.Type]bool{}}
+}
+
+// Add records the affinity t1 -> t2, returning true when it is new.
+// Self-affinities (t1 == t2) are rejected, as in Algorithm 2 lines 5-7:
+// "composing only one type does not contribute much to the abundance".
+func (m *Map) Add(t1, t2 sqlt.Type) bool {
+	if t1 == t2 || !t1.Valid() || !t2.Valid() {
+		return false
+	}
+	set, ok := m.m[t1]
+	if !ok {
+		set = map[sqlt.Type]bool{}
+		m.m[t1] = set
+	}
+	if set[t2] {
+		return false
+	}
+	set[t2] = true
+	m.count++
+	return true
+}
+
+// Has reports whether the affinity t1 -> t2 is recorded.
+func (m *Map) Has(t1, t2 sqlt.Type) bool { return m.m[t1][t2] }
+
+// Count returns the number of distinct affinities (the Table II metric).
+func (m *Map) Count() int { return m.count }
+
+// Successors returns the recorded follow-set of t in sorted order.
+func (m *Map) Successors(t sqlt.Type) []sqlt.Type {
+	set := m.m[t]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]sqlt.Type, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Pairs returns every recorded affinity in sorted order.
+func (m *Map) Pairs() []Pair {
+	var out []Pair
+	for t1, set := range m.m {
+		for t2 := range set {
+			out = append(out, Pair{From: t1, To: t2})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Analyze implements Algorithm 2: it parses the SQL Type Sequence of a test
+// case and folds every adjacent-pair affinity into the map, returning the
+// pairs that were new. Adjacent duplicates are skipped.
+func (m *Map) Analyze(seq sqlt.Sequence) []Pair {
+	var fresh []Pair
+	last := sqlt.Invalid
+	for _, cur := range seq {
+		if last != sqlt.Invalid {
+			if last == cur {
+				last = cur
+				continue
+			}
+			if m.Add(last, cur) {
+				fresh = append(fresh, Pair{From: last, To: cur})
+			}
+		}
+		last = cur
+	}
+	return fresh
+}
+
+// Tally counts the distinct affinities present in a sequence without
+// mutating any map — used to score corpora for the Table II comparison.
+func Tally(seqs []sqlt.Sequence) int {
+	m := NewMap()
+	for _, s := range seqs {
+		m.Analyze(s)
+	}
+	return m.Count()
+}

@@ -1,0 +1,156 @@
+package affinity
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/sqlt"
+)
+
+func TestAddBasics(t *testing.T) {
+	m := NewMap()
+	if !m.Add(sqlt.CreateTable, sqlt.Insert) {
+		t.Fatal("first add must be new")
+	}
+	if m.Add(sqlt.CreateTable, sqlt.Insert) {
+		t.Fatal("repeated add must not be new")
+	}
+	if !m.Has(sqlt.CreateTable, sqlt.Insert) {
+		t.Fatal("Has must see the pair")
+	}
+	if m.Has(sqlt.Insert, sqlt.CreateTable) {
+		t.Fatal("affinities are ordered")
+	}
+	if m.Count() != 1 {
+		t.Fatalf("count = %d", m.Count())
+	}
+}
+
+func TestSelfAffinityRejected(t *testing.T) {
+	// Algorithm 2 lines 5-7: adjacent duplicates are skipped.
+	m := NewMap()
+	if m.Add(sqlt.Insert, sqlt.Insert) {
+		t.Fatal("self-affinity must be rejected")
+	}
+	if m.Add(sqlt.Invalid, sqlt.Insert) || m.Add(sqlt.Insert, sqlt.Invalid) {
+		t.Fatal("invalid types must be rejected")
+	}
+	if m.Count() != 0 {
+		t.Fatal("nothing recorded")
+	}
+}
+
+func TestAnalyzeAlgorithm2(t *testing.T) {
+	// The paper's Figure 5 deletion example: CREATE TABLE, INSERT, INSERT,
+	// SELECT yields CREATE TABLE->INSERT and INSERT->SELECT (the repeated
+	// INSERT is skipped).
+	m := NewMap()
+	seq := sqlt.Sequence{sqlt.CreateTable, sqlt.Insert, sqlt.Insert, sqlt.Select}
+	fresh := m.Analyze(seq)
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %v", fresh)
+	}
+	if !m.Has(sqlt.CreateTable, sqlt.Insert) || !m.Has(sqlt.Insert, sqlt.Select) {
+		t.Fatal("expected pairs missing")
+	}
+	if m.Has(sqlt.Insert, sqlt.Insert) {
+		t.Fatal("self pair must be skipped")
+	}
+	// re-analysis discovers nothing new
+	if got := m.Analyze(seq); len(got) != 0 {
+		t.Fatalf("re-analysis returned %v", got)
+	}
+}
+
+func TestAnalyzeSkipsThroughDuplicates(t *testing.T) {
+	// A, A, B: lastType stays A through the duplicate, so A->B is learned.
+	m := NewMap()
+	m.Analyze(sqlt.Sequence{sqlt.Insert, sqlt.Insert, sqlt.Select})
+	if !m.Has(sqlt.Insert, sqlt.Select) {
+		t.Fatal("A,A,B must learn A->B")
+	}
+	if m.Count() != 1 {
+		t.Fatalf("count = %d", m.Count())
+	}
+}
+
+func TestSuccessorsSorted(t *testing.T) {
+	m := NewMap()
+	m.Add(sqlt.CreateTable, sqlt.Select)
+	m.Add(sqlt.CreateTable, sqlt.Insert)
+	m.Add(sqlt.CreateTable, sqlt.Update)
+	succ := m.Successors(sqlt.CreateTable)
+	if len(succ) != 3 {
+		t.Fatalf("successors = %v", succ)
+	}
+	for i := 1; i < len(succ); i++ {
+		if succ[i-1] >= succ[i] {
+			t.Fatal("successors must be sorted")
+		}
+	}
+	if m.Successors(sqlt.Delete) != nil {
+		t.Fatal("unknown type has no successors")
+	}
+}
+
+func TestPairsSorted(t *testing.T) {
+	m := NewMap()
+	m.Add(sqlt.Select, sqlt.Insert)
+	m.Add(sqlt.CreateTable, sqlt.Insert)
+	m.Add(sqlt.CreateTable, sqlt.Delete)
+	pairs := m.Pairs()
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for i := 1; i < len(pairs); i++ {
+		a, b := pairs[i-1], pairs[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatal("pairs must be sorted")
+		}
+	}
+}
+
+func TestPairString(t *testing.T) {
+	p := Pair{From: sqlt.Insert, To: sqlt.CreateTrigger}
+	if p.String() != "INSERT -> CREATE TRIGGER" {
+		t.Fatalf("got %q", p.String())
+	}
+}
+
+func TestTally(t *testing.T) {
+	seqs := []sqlt.Sequence{
+		{sqlt.CreateTable, sqlt.Insert, sqlt.Select},
+		{sqlt.CreateTable, sqlt.Insert, sqlt.Select}, // duplicate adds nothing
+		{sqlt.CreateTable, sqlt.Select},
+	}
+	if got := Tally(seqs); got != 3 {
+		t.Fatalf("Tally = %d, want 3 (CT->I, I->S, CT->S)", got)
+	}
+	if Tally(nil) != 0 {
+		t.Fatal("empty tally")
+	}
+}
+
+// Property: Count always equals len(Pairs) and Analyze never records a
+// self-pair, for random sequences.
+func TestAffinityInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	all := sqlt.All()
+	m := NewMap()
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(10)
+		seq := make(sqlt.Sequence, n)
+		for j := range seq {
+			seq[j] = all[rng.Intn(len(all))]
+		}
+		m.Analyze(seq)
+		if m.Count() != len(m.Pairs()) {
+			t.Fatalf("count %d != pairs %d", m.Count(), len(m.Pairs()))
+		}
+	}
+	for _, p := range m.Pairs() {
+		if p.From == p.To {
+			t.Fatalf("self pair recorded: %v", p)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/sqlparse"
+	"github.com/seqfuzz/lego/internal/sqlt"
+)
+
+func TestEmptyPool(t *testing.T) {
+	p := NewPool(rand.New(rand.NewSource(1)))
+	if p.Select() != nil {
+		t.Fatal("empty pool selects nil")
+	}
+	if p.Len() != 0 {
+		t.Fatal("empty pool length")
+	}
+}
+
+func TestAddAndSelect(t *testing.T) {
+	p := NewPool(rand.New(rand.NewSource(1)))
+	tc := sqlparse.MustParseScript("SELECT 1;")
+	s := p.Add(tc, 5)
+	if s.ID != 0 || s.NewEdges != 5 {
+		t.Fatalf("seed = %+v", s)
+	}
+	got := p.Select()
+	if got != s {
+		t.Fatal("single-seed pool selects it")
+	}
+	if got.Picked != 1 {
+		t.Fatal("Picked must increment")
+	}
+}
+
+func TestSelectionPrefersProductiveSeeds(t *testing.T) {
+	p := NewPool(rand.New(rand.NewSource(2)))
+	weak := p.Add(sqlparse.MustParseScript("SELECT 1;"), 0)
+	strong := p.Add(sqlparse.MustParseScript("SELECT 2;"), 100)
+
+	strongPicks := 0
+	for i := 0; i < 200; i++ {
+		if p.Select() == strong {
+			strongPicks++
+		}
+	}
+	if strongPicks < 120 {
+		t.Fatalf("strong seed picked only %d/200 times", strongPicks)
+	}
+	_ = weak
+}
+
+func TestPickedPenaltyRotatesSchedule(t *testing.T) {
+	p := NewPool(rand.New(rand.NewSource(3)))
+	a := p.Add(sqlparse.MustParseScript("SELECT 1;"), 10)
+	b := p.Add(sqlparse.MustParseScript("SELECT 2;"), 10)
+	seen := map[int]int{}
+	for i := 0; i < 100; i++ {
+		seen[p.Select().ID]++
+	}
+	if seen[a.ID] == 0 || seen[b.ID] == 0 {
+		t.Fatalf("schedule starved a seed: %v", seen)
+	}
+}
+
+func TestSequences(t *testing.T) {
+	p := NewPool(rand.New(rand.NewSource(4)))
+	p.Add(sqlparse.MustParseScript("CREATE TABLE t (a INT); INSERT INTO t VALUES (1);"), 1)
+	p.Add(sqlparse.MustParseScript("SELECT 1;"), 1)
+	seqs := p.Sequences()
+	if len(seqs) != 2 {
+		t.Fatalf("sequences = %v", seqs)
+	}
+	if !seqs[0].Equal(sqlt.Sequence{sqlt.CreateTable, sqlt.Insert}) {
+		t.Fatalf("seq0 = %v", seqs[0])
+	}
+	if len(p.All()) != 2 {
+		t.Fatal("All must list both")
+	}
+}

@@ -1,0 +1,306 @@
+package minidb
+
+import "github.com/seqfuzz/lego/internal/sqlt"
+
+// This file defines the seeded bug corpus: 102 hazards distributed over the
+// four dialects with the per-component, per-class breakdown of the paper's
+// Table I (PostgreSQL 6, MySQL 21, MariaDB 42, Comdb2 33). Each hazard
+// fires only when a specific SQL Type Sequence suffix has executed and an
+// engine-state predicate holds — the defining property the paper exploits:
+// "many of the [bugs] were related to the unexpected SQL Type Sequence."
+//
+// A small subset is deliberately reachable by intra-statement mutation over
+// the common seed sequences (patterns that appear in initial seeds, gated on
+// the statement *erroring*, which mutation produces constantly and rule-
+// based generation produces rarely). These model the 3 MySQL + 8 MariaDB
+// bugs SQUIRREL found in the paper's Table III.
+
+func bug(id, comp, kind string, cond condFn, pat ...sqlt.Type) *Bug {
+	return &Bug{
+		ID:        id,
+		Component: comp,
+		Kind:      kind,
+		Pattern:   pat,
+		Cond:      cond,
+		Stack: []string{
+			comp + "::entry",
+			comp + "::" + kind + "_path",
+			"crash::" + id,
+		},
+	}
+}
+
+// bugPGJointree is the paper's case-study bug (§V-B): a DO INSTEAD NOTIFY
+// rule rewriting the INSERT inside a WITH clause leaves the CTE query with a
+// nil jointree; the planner later dereferences it in replace_empty_jointree.
+// It is raised manually from the rewrite component (rewrite.go), not by
+// window matching.
+var bugPGJointree = &Bug{
+	ID:        "BUG #17152",
+	Component: "Optimizer",
+	Kind:      "SEGV",
+	Pattern:   nil,
+	Stack: []string{
+		"Optimizer::standard_planner",
+		"Optimizer::replace_empty_jointree",
+		"crash::BUG #17152",
+	},
+}
+
+var postgresBugs = []*Bug{
+	bug("BUG #17097", "Optimizer", "BOF", cRows(1),
+		sqlt.CreateIndex, sqlt.Analyze, sqlt.Select),
+	bug("BUG #110303", "Optimizer", "AF", cAlways,
+		sqlt.RefreshMaterializedView, sqlt.Select),
+	bugPGJointree, // Optimizer SEGV, raised from rewrite.go
+	bug("BUG #17151", "Optimizer", "SEGV", cErr,
+		sqlt.DeclareCursor, sqlt.Fetch, sqlt.CloseCursor, sqlt.Fetch),
+	bug("BUG #17094", "Parser", "AF", cPrepared,
+		sqlt.Prepare, sqlt.Execute, sqlt.Prepare),
+	bug("BUG #17067", "DML", "AF", cAlways,
+		sqlt.CopyFrom, sqlt.Truncate, sqlt.CopyTo),
+}
+
+var mysqlBugs = []*Bug{
+	// Optimizer: BOF(3), SBOF(1), NPD(4), HBOF(1), UAF(1), AF(2)
+	bug("CVE-2021-2357", "Optimizer", "BOF", cView,
+		sqlt.CreateView, sqlt.AlterTable, sqlt.Select),
+	bug("CVE-2021-2055", "Optimizer", "BOF", cAnd(cIndex, cErr),
+		sqlt.CreateIndex, sqlt.Update, sqlt.Select),
+	bug("CVE-2021-2230", "Optimizer", "BOF", cErr,
+		sqlt.Insert, sqlt.Select), // SQUIRREL-reachable: seed adjacency + erroring mutant
+	bug("CVE-2021-2169", "Optimizer", "SBOF", cFunc,
+		sqlt.CreateFunction, sqlt.Select),
+	bug("CVE-2021-2444", "Optimizer", "NPD", cErr,
+		sqlt.CreateView, sqlt.DropTable, sqlt.Select),
+	bug("MYSQL-OPT-104211", "Optimizer", "NPD", cEmptyTable,
+		sqlt.Describe, sqlt.Select),
+	bug("MYSQL-OPT-104377", "Optimizer", "NPD", cAlways,
+		sqlt.AlterTable, sqlt.Explain),
+	bug("MYSQL-OPT-104490", "Optimizer", "NPD", cSeq,
+		sqlt.CreateSequence, sqlt.Select),
+	bug("MYSQL-OPT-104502", "Optimizer", "HBOF", cAnd(cRows(2), cErr),
+		sqlt.Update, sqlt.Update, sqlt.Select),
+	bug("MYSQL-OPT-104633", "Optimizer", "UAF", cRows(1),
+		sqlt.DropIndex, sqlt.Select),
+	bug("MYSQL-OPT-104718", "Optimizer", "AF", cInTxn,
+		sqlt.LockTable, sqlt.Select),
+	bug("MYSQL-OPT-104799", "Optimizer", "AF", cAlways,
+		sqlt.Analyze, sqlt.Explain),
+	// DML: SBOF(1), SEGV(2)
+	bug("CVE-2021-35645", "DML", "SBOF", cAlways,
+		sqlt.LoadData, sqlt.Update),
+	bug("MYSQL-DML-104822", "DML", "SEGV", cErr,
+		sqlt.Insert, sqlt.Insert), // SQUIRREL-reachable
+	bug("MYSQL-DML-104903", "DML", "SEGV", cErr,
+		sqlt.Update, sqlt.Delete), // SQUIRREL-reachable
+	// Auth: SBOF(1), SEGV(2)
+	bug("CVE-2021-35643", "Auth", "SBOF", cTrigger,
+		sqlt.CreateTable, sqlt.Insert, sqlt.CreateTrigger, sqlt.Select), // Fig. 3 sequence
+	bug("MYSQL-AUTH-105011", "Auth", "SEGV", cAlways,
+		sqlt.Grant, sqlt.Revoke, sqlt.Select),
+	bug("MYSQL-AUTH-105104", "Auth", "SEGV", cAlways,
+		sqlt.CreateUser, sqlt.Grant, sqlt.Grant),
+	// Storage: SEGV(1), AF(2)
+	bug("CVE-2021-35641", "Storage", "SEGV", cAlways,
+		sqlt.Flush, sqlt.Insert),
+	bug("MYSQL-STG-105233", "Storage", "AF", cRows(1),
+		sqlt.OptimizeTable, sqlt.Update),
+	bug("MYSQL-STG-105307", "Storage", "AF", cAlways,
+		sqlt.CheckTable, sqlt.AlterTable),
+}
+
+var mariadbBugs = []*Bug{
+	// Optimizer: NPD(2), BOF(1), UAP(3), SEGV(2), AF(1)
+	bug("CVE-2022-27376", "Optimizer", "NPD", cTables(2),
+		sqlt.CreateView, sqlt.CreateView, sqlt.Select),
+	bug("CVE-2022-27379", "Optimizer", "NPD", cAlways,
+		sqlt.SelectInto, sqlt.Select, sqlt.Update, sqlt.Select),
+	bug("CVE-2022-27380", "Optimizer", "BOF", cRows(2),
+		sqlt.CreateIndex, sqlt.Reindex, sqlt.Select),
+	bug("MDEV-26403", "Optimizer", "UAP", cErr,
+		sqlt.DropView, sqlt.Select),
+	bug("MDEV-26432", "Optimizer", "UAP", cAlways,
+		sqlt.Merge, sqlt.Select, sqlt.Merge, sqlt.Select),
+	bug("MDEV-26418", "Optimizer", "UAP", cAnd(cRows(2), cTables(2)),
+		sqlt.AlterTable, sqlt.Select, sqlt.Select),
+	bug("MDEV-26416", "Optimizer", "SEGV", cErr,
+		sqlt.CreateFunction, sqlt.DropFunction, sqlt.Select),
+	bug("MDEV-26419", "Optimizer", "SEGV", cAlways,
+		sqlt.Begin, sqlt.Select, sqlt.Rollback, sqlt.Select),
+	bug("MDEV-26430", "Optimizer", "AF", cRows(2),
+		sqlt.Analyze, sqlt.Update, sqlt.Explain),
+	// DML: BOF(1), UAP(1), AF(1), SEGV(1)
+	bug("CVE-2022-27377", "DML", "BOF", cErr,
+		sqlt.Insert, sqlt.Update), // SQUIRREL-reachable
+	bug("CVE-2022-27378", "DML", "UAP", cErr,
+		sqlt.Delete, sqlt.Insert), // SQUIRREL-reachable
+	bug("MDEV-26120", "DML", "AF", cErr,
+		sqlt.Update, sqlt.Update), // SQUIRREL-reachable
+	bug("MDEV-25994", "DML", "SEGV", cErr,
+		sqlt.Insert, sqlt.Delete), // SQUIRREL-reachable
+	// Parser: BOF(1), UAF(2), SEGV(1)
+	bug("CVE-2022-27383", "Parser", "BOF", cRows(1),
+		sqlt.Prepare, sqlt.Execute, sqlt.Execute),
+	bug("MDEV-26355", "Parser", "UAF", cErr,
+		sqlt.Prepare, sqlt.Deallocate, sqlt.Execute),
+	bug("MDEV-26313", "Parser", "UAF", cErr,
+		sqlt.CreateProcedure, sqlt.DropProcedure, sqlt.Call),
+	bug("MDEV-26410", "Parser", "SEGV", cErr,
+		sqlt.Explain, sqlt.Explain),
+	// Storage: SEGV(7), UAP(2), UAF(2), BOF(2)
+	bug("CVE-2022-27385", "Storage", "SEGV", cTables(2),
+		sqlt.Truncate, sqlt.Insert),
+	bug("CVE-2022-27386", "Storage", "SEGV", cErr,
+		sqlt.RenameTable, sqlt.Insert),
+	bug("MDEV-26404", "Storage", "SEGV", cRows(2),
+		sqlt.AlterTable, sqlt.Insert),
+	bug("MDEV-26408", "Storage", "SEGV", cAnd(cRows(2), cTables(2)),
+		sqlt.Flush, sqlt.Select),
+	bug("MDEV-26412", "Storage", "SEGV", cAlways,
+		sqlt.OptimizeTable, sqlt.Insert, sqlt.OptimizeTable, sqlt.Select),
+	bug("MDEV-26421", "Storage", "SEGV", cRows(3),
+		sqlt.CheckTable, sqlt.Update),
+	bug("MDEV-26434", "Storage", "SEGV", cAlways,
+		sqlt.LoadData, sqlt.Select, sqlt.LoadData, sqlt.Select),
+	bug("MDEV-26436", "Storage", "UAP", cRows(2),
+		sqlt.DropIndex, sqlt.Insert),
+	bug("MDEV-26420", "Storage", "UAP", cEmptyTable,
+		sqlt.Truncate, sqlt.Select),
+	bug("MDEV-26422", "Storage", "UAF", cErr,
+		sqlt.DropTable, sqlt.Insert),
+	bug("MDEV-26431", "Storage", "UAF", cTables(2),
+		sqlt.CreateTable, sqlt.DropTable, sqlt.CreateTable),
+	bug("MDEV-26433", "Storage", "BOF", cAnd(cRows(2), cErr),
+		sqlt.Insert, sqlt.Insert, sqlt.Insert), // SQUIRREL-reachable
+	bug("MDEV-26439", "Storage", "BOF", cErr,
+		sqlt.CreateIndex, sqlt.Insert), // SQUIRREL-reachable
+	// Item: AF(4), SEGV(3), UAP(2), UAF(1)
+	bug("MDEV-26405", "Item", "AF", cErr,
+		sqlt.Select, sqlt.Select), // SQUIRREL-reachable
+	bug("MDEV-26407", "Item", "AF", cAlways,
+		sqlt.CreateFunction, sqlt.Do),
+	bug("MDEV-26411", "Item", "AF", cErr,
+		sqlt.SetVar, sqlt.Select), // SQUIRREL-reachable
+	bug("MDEV-26414", "Item", "AF", cAlways,
+		sqlt.ValuesStmt, sqlt.Select, sqlt.ValuesStmt, sqlt.Select),
+	bug("MDEV-26438", "Item", "SEGV", cErr,
+		sqlt.Update, sqlt.Select), // SQUIRREL-reachable
+	bug("MDEV-26428", "Item", "SEGV", cAlways,
+		sqlt.Show, sqlt.Select, sqlt.Show, sqlt.Select),
+	bug("MDEV-26417", "Item", "SEGV", cAlways,
+		sqlt.Describe, sqlt.Insert, sqlt.Describe, sqlt.Insert),
+	bug("MDEV-26435", "Item", "UAP", cErr,
+		sqlt.CreateSequence, sqlt.DropSequence, sqlt.Select),
+	bug("MDEV-26437", "Item", "UAP", cAlways,
+		sqlt.Do, sqlt.Select, sqlt.Do, sqlt.Select),
+	bug("MDEV-26427", "Item", "UAF", cErr,
+		sqlt.CreateView, sqlt.AlterTable, sqlt.Select),
+	// Lock: SEGV(2)
+	bug("MDEV-26425", "Lock", "SEGV", cInTxn,
+		sqlt.LockTable, sqlt.Update),
+	bug("MDEV-26424", "Lock", "SEGV", cNoTxn, // the COMMIT must really close the txn
+		sqlt.Begin, sqlt.LockTable, sqlt.Commit, sqlt.Select),
+}
+
+var comdb2Bugs = []*Bug{
+	// Bdb: UB(6)
+	bug("CVE-2020-26746-a", "Bdb", "UB", cAlways,
+		sqlt.Begin, sqlt.Insert, sqlt.Rollback, sqlt.Insert),
+	bug("CVE-2020-26746-b", "Bdb", "UB", cRows(1),
+		sqlt.Begin, sqlt.Delete, sqlt.Commit),
+	bug("CVE-2020-26746-c", "Bdb", "UB", cErr,
+		sqlt.Begin, sqlt.Begin),
+	bug("CVE-2020-26746-d", "Bdb", "UB", cErr,
+		sqlt.Rollback, sqlt.Rollback),
+	bug("CVE-2020-26746-e", "Bdb", "UB", cAlways,
+		sqlt.Begin, sqlt.Truncate, sqlt.Rollback),
+	bug("CVE-2020-26746-f", "Bdb", "UB", cAlways,
+		sqlt.Begin, sqlt.AlterTable, sqlt.Commit),
+	// Berkdb: BOF(1), UB(7)
+	bug("CVE-2020-26745-a", "Berkdb", "BOF", cErr,
+		sqlt.CreateIndex, sqlt.Insert, sqlt.Insert),
+	bug("CVE-2020-26745-b", "Berkdb", "UB", cAlways,
+		sqlt.CreateIndex, sqlt.DropIndex, sqlt.Insert),
+	bug("CVE-2020-26745-c", "Berkdb", "UB", cRows(1),
+		sqlt.Analyze, sqlt.Delete, sqlt.Select),
+	bug("CVE-2020-26745-d", "Berkdb", "UB", cAlways,
+		sqlt.Pragma, sqlt.Insert, sqlt.Pragma),
+	bug("CVE-2020-26745-e", "Berkdb", "UB", cAlways,
+		sqlt.SetVar, sqlt.Analyze, sqlt.Update),
+	bug("CVE-2020-26745-f", "Berkdb", "UB", cAlways,
+		sqlt.Insert, sqlt.Truncate, sqlt.Analyze),
+	bug("CVE-2020-26745-g", "Berkdb", "UB", cErr,
+		sqlt.DropIndex, sqlt.Select),
+	bug("CVE-2020-26745-h", "Berkdb", "UB", cAnd(cIndex, cErr),
+		sqlt.CreateIndex, sqlt.Update),
+	// Csc2: BOF(1)
+	bug("CVE-2020-26744", "Csc2", "BOF", cErr,
+		sqlt.AlterTable, sqlt.AlterTable),
+	// Db: UB(4), UAF(1), SEGV(3)
+	bug("CVE-2020-26743-a", "Db", "UB", cView,
+		sqlt.CreateView, sqlt.Select, sqlt.DropView),
+	bug("CVE-2020-26743-b", "Db", "UB", cAlways,
+		sqlt.WithSelect, sqlt.Delete, sqlt.WithSelect),
+	bug("CVE-2020-26743-c", "Db", "UB", cErr,
+		sqlt.ValuesStmt, sqlt.Insert),
+	bug("CVE-2020-26743-d", "Db", "UB", cAlways,
+		sqlt.Explain, sqlt.Update, sqlt.Explain),
+	bug("CVE-2020-26743-e", "Db", "UAF", cErr,
+		sqlt.DropTable, sqlt.Select),
+	bug("CVE-2020-26743-f", "Db", "SEGV", cAlways,
+		sqlt.CreateProcedure, sqlt.DropProcedure, sqlt.Select),
+	bug("CVE-2020-26743-g", "Db", "SEGV", cErr,
+		sqlt.Grant, sqlt.Select),
+	bug("CVE-2020-26743-h", "Db", "SEGV", cRows(1),
+		sqlt.Update, sqlt.Truncate, sqlt.Insert),
+	// Mem: BOF(1), HBOF(1), SEGV(1)
+	bug("CVE-2020-26741", "Mem", "BOF", cAnd(cRows(4), cErr),
+		sqlt.Insert, sqlt.Insert, sqlt.Insert, sqlt.Insert),
+	bug("CVE-2020-26742", "Mem", "HBOF", cErr,
+		sqlt.Insert, sqlt.Update, sqlt.Insert),
+	bug("COMDB2-MEM-SEGV", "Mem", "SEGV", cErr,
+		sqlt.Delete, sqlt.Delete),
+	// Sqlite: UB(5), SEGV(2)
+	bug("COMDB2-SQLITE-UB-1", "Sqlite", "UB", cErr,
+		sqlt.WithSelect, sqlt.Select),
+	bug("COMDB2-SQLITE-UB-2", "Sqlite", "UB", cRows(2),
+		sqlt.Select, sqlt.WithSelect),
+	bug("COMDB2-SQLITE-UB-3", "Sqlite", "UB", cAlways,
+		sqlt.WithSelect, sqlt.WithSelect),
+	bug("COMDB2-SQLITE-UB-4", "Sqlite", "UB", cAlways,
+		sqlt.ValuesStmt, sqlt.Select, sqlt.ValuesStmt),
+	bug("COMDB2-SQLITE-UB-5", "Sqlite", "UB", cEmptyTable,
+		sqlt.Explain, sqlt.Select, sqlt.Explain),
+	bug("COMDB2-SQLITE-SEGV-1", "Sqlite", "SEGV", cAnd(cView, cRows(1)),
+		sqlt.CreateView, sqlt.WithSelect),
+	bug("COMDB2-SQLITE-SEGV-2", "Sqlite", "SEGV", cAlways,
+		sqlt.Analyze, sqlt.WithSelect, sqlt.Analyze),
+}
+
+// bugsFor returns the seeded bugs for one dialect.
+func bugsFor(d sqlt.Dialect) []*Bug {
+	switch d {
+	case sqlt.DialectPostgres:
+		return postgresBugs
+	case sqlt.DialectMySQL:
+		return mysqlBugs
+	case sqlt.DialectMariaDB:
+		return mariadbBugs
+	case sqlt.DialectComdb2:
+		return comdb2Bugs
+	default:
+		return nil
+	}
+}
+
+// AllBugs returns the full corpus keyed by dialect, for the Table I
+// benchmark and tests.
+func AllBugs() map[sqlt.Dialect][]*Bug {
+	return map[sqlt.Dialect][]*Bug{
+		sqlt.DialectPostgres: postgresBugs,
+		sqlt.DialectMySQL:    mysqlBugs,
+		sqlt.DialectMariaDB:  mariadbBugs,
+		sqlt.DialectComdb2:   comdb2Bugs,
+	}
+}

@@ -1,0 +1,421 @@
+package minidb
+
+import (
+	"github.com/seqfuzz/lego/internal/coverage"
+	"github.com/seqfuzz/lego/internal/sqlast"
+	"github.com/seqfuzz/lego/internal/sqlt"
+)
+
+// Limits bound resource usage so fuzzing stays fast (the paper's C3:
+// pathological seeds must not stall the fuzzer).
+type Limits struct {
+	MaxRowsPerTable int
+	MaxResultRows   int
+	MaxTriggerDepth int
+	MaxRewriteDepth int
+	// MaxTriggerFires caps total trigger invocations per top-level
+	// statement: cascades are depth-capped AND breadth-capped, so an
+	// UPDATE over many rows with self-updating triggers cannot stall the
+	// fuzzer (challenge C3).
+	MaxTriggerFires int
+}
+
+// DefaultLimits are tuned for fuzzing throughput.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxRowsPerTable: 128,
+		MaxResultRows:   512,
+		MaxTriggerDepth: 4,
+		MaxRewriteDepth: 8,
+		MaxTriggerFires: 64,
+	}
+}
+
+// Config configures an Engine.
+type Config struct {
+	Dialect sqlt.Dialect
+	Limits  Limits
+	// EnableHazards arms the seeded bug corpus (bugs.go). Disarmed engines
+	// are used by tests that exercise pure SQL semantics.
+	EnableHazards bool
+}
+
+// session holds connection-scoped state.
+type session struct {
+	vars      map[string]Value
+	globals   map[string]Value
+	role      string
+	listening map[string]bool
+	notices   []string
+	cursors   map[string]*cursor
+	prepared  map[string]sqlast.Statement
+	isolation string
+	curDB     string
+}
+
+type cursor struct {
+	name string
+	rows [][]Value
+	pos  int
+}
+
+func newSession() *session {
+	return &session{
+		vars:      map[string]Value{},
+		globals:   map[string]Value{},
+		listening: map[string]bool{},
+		cursors:   map[string]*cursor{},
+		prepared:  map[string]sqlast.Statement{},
+		isolation: "READ COMMITTED",
+		curDB:     "main",
+	}
+}
+
+// Engine executes SQL test cases against a fresh in-memory database.
+// An Engine is not safe for concurrent use; each fuzzing worker owns one.
+type Engine struct {
+	cfg     Config
+	cat     *Catalog
+	sess    *session
+	tracer  *coverage.Tracer
+	limits  Limits
+	hazards []*Bug
+
+	// txnStack holds catalog snapshots: index 0 is the BEGIN snapshot,
+	// later entries are savepoints (name in spNames).
+	txnStack []*Catalog
+	spNames  []string
+
+	// execution bookkeeping
+	typeWindow   []sqlt.Type // recent executed statement types (hazard matching)
+	triggerDepth int
+	triggerFires int // invocations within the current top-level statement
+	rewriteDepth int
+	stmtIndex    int
+	cteFrames    []map[string]*relation
+
+	// rewrite-component flags for the case-study bug path
+	inWCTERewrite     bool
+	wcteNotifyRewrite bool
+
+	// state flags observed by hazard conditions
+	rowsInserted  int
+	lastInsertTab string
+}
+
+// New creates an engine for the given configuration.
+func New(cfg Config) *Engine {
+	if cfg.Limits == (Limits{}) {
+		cfg.Limits = DefaultLimits()
+	}
+	e := &Engine{
+		cfg:    cfg,
+		limits: cfg.Limits,
+		tracer: coverage.NewTracer(),
+	}
+	if cfg.EnableHazards {
+		e.hazards = bugsFor(cfg.Dialect)
+	}
+	e.reset()
+	return e
+}
+
+// Dialect returns the engine's dialect profile.
+func (e *Engine) Dialect() sqlt.Dialect { return e.cfg.Dialect }
+
+// Tracer exposes the engine's coverage tracer for feedback harvesting.
+func (e *Engine) Tracer() *coverage.Tracer { return e.tracer }
+
+// reset re-creates all database state for the next test case.
+func (e *Engine) reset() {
+	e.cat = NewCatalog()
+	e.sess = newSession()
+	e.txnStack = nil
+	e.spNames = nil
+	e.typeWindow = e.typeWindow[:0]
+	e.triggerDepth = 0
+	e.rewriteDepth = 0
+	e.stmtIndex = 0
+	e.cteFrames = nil
+	e.inWCTERewrite = false
+	e.wcteNotifyRewrite = false
+	e.rowsInserted = 0
+	e.lastInsertTab = ""
+}
+
+func (e *Engine) hit(s coverage.Site) { e.tracer.Hit(s) }
+
+// Result is the output of one statement.
+type Result struct {
+	Cols     []string
+	Rows     [][]Value
+	Affected int
+	Msg      string
+}
+
+// Outcome summarizes one test-case execution.
+type Outcome struct {
+	// Crash is non-nil when a seeded hazard (or organic engine bug) fired.
+	Crash *BugReport
+	// Executed is the number of statements attempted.
+	Executed int
+	// Errors is the number of statements that returned a SQL error.
+	Errors int
+	// Results holds per-statement results (nil entry on error/crash).
+	Results []*Result
+	// Errs holds per-statement errors (nil entry on success).
+	Errs []error
+}
+
+// RunTestCase executes the test case against a fresh database, recording
+// coverage into the engine's tracer (which the caller is expected to have
+// Reset). Seeded-bug panics are captured into the outcome; any other panic
+// is re-raised, since it would be a genuine engine defect.
+func (e *Engine) RunTestCase(tc sqlast.TestCase) (out Outcome) {
+	e.reset()
+	out.Results = make([]*Result, len(tc))
+	out.Errs = make([]error, len(tc))
+	defer func() {
+		if r := recover(); r != nil {
+			if br, ok := r.(*BugReport); ok {
+				out.Crash = br
+				return
+			}
+			panic(r)
+		}
+	}()
+	for i, s := range tc {
+		e.stmtIndex = i
+		out.Executed++
+		res, err := e.ExecStmt(s)
+		if err != nil {
+			out.Errors++
+			out.Errs[i] = err
+			continue
+		}
+		out.Results[i] = res
+	}
+	return out
+}
+
+// ExecStmt executes one statement against the current database state.
+// Statement-level SQL errors are returned; seeded-bug crashes panic with a
+// *BugReport (RunTestCase catches them).
+func (e *Engine) ExecStmt(s sqlast.Statement) (*Result, error) {
+	e.hit(pDispatch)
+	t := s.Type()
+	if !e.cfg.Dialect.Supports(t) {
+		e.hit(pDialectReject)
+		return nil, errValue("%s: unsupported statement type %s", e.cfg.Dialect, t)
+	}
+	switch t.Category() {
+	case sqlt.CatDDL:
+		e.hit(pParseDDL)
+	case sqlt.CatDML:
+		e.hit(pParseDML)
+	case sqlt.CatDQL:
+		e.hit(pParseDQL)
+	case sqlt.CatDCL:
+		e.hit(pParseDCL)
+	case sqlt.CatTCL:
+		e.hit(pParseTCL)
+	default:
+		e.hit(pParseSession)
+	}
+
+	e.triggerFires = 0
+	res, err := e.dispatch(s)
+
+	// The type window records *attempted* statements: real DBMS crashes
+	// often fire on error paths too.
+	e.typeWindow = append(e.typeWindow, t)
+	if len(e.typeWindow) > 8 {
+		e.typeWindow = e.typeWindow[len(e.typeWindow)-8:]
+	}
+	if err != nil {
+		e.hit(pStmtError)
+	} else {
+		e.hit(pStmtOK)
+	}
+	e.checkHazards(t, err)
+	return res, err
+}
+
+func (e *Engine) dispatch(s sqlast.Statement) (*Result, error) {
+	switch st := s.(type) {
+	// DDL
+	case *sqlast.CreateTableStmt:
+		return e.execCreateTable(st)
+	case *sqlast.CreateViewStmt:
+		return e.execCreateView(st)
+	case *sqlast.CreateIndexStmt:
+		return e.execCreateIndex(st)
+	case *sqlast.CreateTriggerStmt:
+		return e.execCreateTrigger(st)
+	case *sqlast.CreateSequenceStmt:
+		return e.execCreateSequence(st)
+	case *sqlast.CreateSchemaStmt:
+		return e.execCreateSchema(st)
+	case *sqlast.CreateFunctionStmt:
+		return e.execCreateFunction(st)
+	case *sqlast.CreateProcedureStmt:
+		return e.execCreateProcedure(st)
+	case *sqlast.CreateRuleStmt:
+		return e.execCreateRule(st)
+	case *sqlast.CreateDomainStmt:
+		return e.execCreateDomain(st)
+	case *sqlast.CreateTypeStmt:
+		return e.execCreateType(st)
+	case *sqlast.CreateExtensionStmt:
+		return e.execCreateExtension(st)
+	case *sqlast.CreateRoleStmt:
+		return e.execCreateRole(st)
+	case *sqlast.CreateDatabaseStmt:
+		return e.execCreateDatabase(st)
+	case *sqlast.AlterTableStmt:
+		return e.execAlterTable(st)
+	case *sqlast.AlterSimpleStmt:
+		return e.execAlterSimple(st)
+	case *sqlast.AlterSystemStmt:
+		return e.execAlterSystem(st)
+	case *sqlast.DropStmt:
+		return e.execDrop(st)
+	case *sqlast.RenameTableStmt:
+		return e.execRenameTable(st)
+	case *sqlast.TruncateStmt:
+		return e.execTruncate(st)
+	case *sqlast.CommentOnStmt:
+		return e.execCommentOn(st)
+	case *sqlast.ReindexStmt:
+		return e.execReindex(st)
+	case *sqlast.RefreshMatViewStmt:
+		return e.execRefreshMatView(st)
+
+	// DML
+	case *sqlast.InsertStmt:
+		return e.execInsert(st)
+	case *sqlast.UpdateStmt:
+		return e.execUpdate(st)
+	case *sqlast.DeleteStmt:
+		return e.execDelete(st)
+	case *sqlast.MergeStmt:
+		return e.execMerge(st)
+	case *sqlast.CopyStmt:
+		return e.execCopy(st)
+	case *sqlast.LoadDataStmt:
+		return e.execLoadData(st)
+	case *sqlast.CallStmt:
+		return e.execCall(st)
+	case *sqlast.DoStmt:
+		return e.execDo(st)
+
+	// DQL
+	case *sqlast.SelectStmt:
+		return e.execSelectTop(st)
+	case *sqlast.TableStmtNode:
+		return e.execTableStmt(st)
+	case *sqlast.ValuesStmtNode:
+		return e.execValuesStmt(st)
+	case *sqlast.WithStmt:
+		return e.execWith(st)
+	case *sqlast.ExplainStmt:
+		return e.execExplain(st)
+	case *sqlast.ShowStmt:
+		return e.execShow(st)
+	case *sqlast.DescribeStmt:
+		return e.execDescribe(st)
+
+	// DCL
+	case *sqlast.GrantStmt:
+		return e.execGrant(st)
+	case *sqlast.SetRoleStmt:
+		return e.execSetRole(st)
+
+	// TCL
+	case *sqlast.TxnStmt:
+		return e.execTxn(st)
+	case *sqlast.SetTransactionStmt:
+		return e.execSetTransaction(st)
+	case *sqlast.LockTableStmt:
+		return e.execLockTable(st)
+
+	// session
+	case *sqlast.SetVarStmt:
+		return e.execSetVar(st)
+	case *sqlast.ResetVarStmt:
+		return e.execResetVar(st)
+	case *sqlast.PragmaStmt:
+		return e.execPragma(st)
+	case *sqlast.UseStmt:
+		return e.execUse(st)
+	case *sqlast.AnalyzeStmt:
+		return e.execAnalyze(st)
+	case *sqlast.VacuumStmt:
+		return e.execVacuum(st)
+	case *sqlast.MaintenanceStmt:
+		return e.execMaintenance(st)
+	case *sqlast.FlushStmt:
+		return e.execFlush(st)
+	case *sqlast.CheckpointStmt:
+		return e.execCheckpoint(st)
+	case *sqlast.DiscardStmt:
+		return e.execDiscard(st)
+	case *sqlast.PrepareStmt:
+		return e.execPrepare(st)
+	case *sqlast.ExecuteStmt:
+		return e.execExecute(st)
+	case *sqlast.DeallocateStmt:
+		return e.execDeallocate(st)
+	case *sqlast.DeclareCursorStmt:
+		return e.execDeclareCursor(st)
+	case *sqlast.FetchStmt:
+		return e.execFetch(st)
+	case *sqlast.CloseCursorStmt:
+		return e.execCloseCursor(st)
+	case *sqlast.ListenStmt:
+		return e.execListen(st)
+	case *sqlast.NotifyStmt:
+		return e.execNotify(st)
+	case *sqlast.UnlistenStmt:
+		return e.execUnlisten(st)
+	case *sqlast.ClusterStmt:
+		return e.execCluster(st)
+
+	default:
+		return nil, errValue("unimplemented statement %T", s)
+	}
+}
+
+// lookTable resolves a table name, returning a SQL error when missing.
+func (e *Engine) lookTable(name string) (*Table, error) {
+	if t, ok := e.cat.Tables[name]; ok {
+		return t, nil
+	}
+	return nil, errValue("relation %q does not exist", name)
+}
+
+// checkPriv verifies the current role may perform priv on table. The default
+// superuser (empty role) may do anything.
+func (e *Engine) checkPriv(table, priv string) error {
+	if e.sess.role == "" {
+		return nil
+	}
+	e.hit(pAuthCheck)
+	r, ok := e.cat.Roles[e.sess.role]
+	if !ok {
+		e.hit(pAuthDenied)
+		return errValue("role %q does not exist", e.sess.role)
+	}
+	if r.Privs[table]["ALL"] || r.Privs[table][priv] {
+		return nil
+	}
+	e.hit(pAuthDenied)
+	return errValue("permission denied for %q on %q", priv, table)
+}
+
+// inTxn reports whether an explicit transaction is open.
+func (e *Engine) inTxn() bool { return len(e.txnStack) > 0 }
+
+// TypeWindow exposes the recent statement-type window (used by tests and by
+// the hazard engine).
+func (e *Engine) TypeWindow() []sqlt.Type { return e.typeWindow }

@@ -1,0 +1,299 @@
+package minidb
+
+import (
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/sqlparse"
+	"github.com/seqfuzz/lego/internal/sqlt"
+)
+
+func newPG(t *testing.T) *Engine {
+	t.Helper()
+	return New(Config{Dialect: sqlt.DialectPostgres})
+}
+
+// run executes a script against a fresh engine and fails the test on crash.
+func run(t *testing.T, e *Engine, script string) Outcome {
+	t.Helper()
+	tc := sqlparse.MustParseScript(script)
+	out := e.RunTestCase(tc)
+	if out.Crash != nil {
+		t.Fatalf("unexpected crash: %v", out.Crash)
+	}
+	return out
+}
+
+func lastResult(t *testing.T, out Outcome) *Result {
+	t.Helper()
+	for i := len(out.Results) - 1; i >= 0; i-- {
+		if out.Results[i] != nil {
+			return out.Results[i]
+		}
+	}
+	t.Fatal("no results")
+	return nil
+}
+
+func TestBasicCRUD(t *testing.T) {
+	e := newPG(t)
+	out := run(t, e, `
+CREATE TABLE t1 (v1 INT, v2 INT);
+INSERT INTO t1 VALUES (1, 1);
+INSERT INTO t1 VALUES (2, 1);
+SELECT v2 FROM t1 WHERE v1 = 1;
+`)
+	if out.Errors != 0 {
+		t.Fatalf("errors: %v", out.Errs)
+	}
+	res := lastResult(t, out)
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestOrderMatters(t *testing.T) {
+	// Paper Figure 2: same statements, different order, different results.
+	q1 := `
+CREATE TABLE t1 (a INT, b VARCHAR(100));
+INSERT INTO t1 VALUES (1, 'name1');
+INSERT INTO t1 VALUES (3, 'name1');
+SELECT * FROM t1 ORDER BY a DESC;
+`
+	q2 := `
+CREATE TABLE t1 (a INT, b VARCHAR(100));
+SELECT * FROM t1 ORDER BY a DESC;
+INSERT INTO t1 VALUES (1, 'name1');
+INSERT INTO t1 VALUES (3, 'name1');
+`
+	e := newPG(t)
+	out1 := run(t, e, q1)
+	sorted := out1.Results[3]
+	if len(sorted.Rows) != 2 || sorted.Rows[0][0].I != 3 {
+		t.Fatalf("q1 rows = %v", sorted.Rows)
+	}
+	out2 := run(t, e, q2)
+	empty := out2.Results[1]
+	if len(empty.Rows) != 0 {
+		t.Fatalf("q2 select should be empty, got %v", empty.Rows)
+	}
+}
+
+func TestConstraints(t *testing.T) {
+	e := newPG(t)
+	out := run(t, e, `
+CREATE TABLE t (a INT PRIMARY KEY, b INT NOT NULL, c INT CHECK (c > 0));
+INSERT INTO t VALUES (1, 1, 1);
+INSERT INTO t VALUES (1, 2, 2);
+INSERT INTO t VALUES (2, NULL, 2);
+INSERT INTO t VALUES (3, 3, -1);
+INSERT INTO t VALUES (4, 4, 4);
+SELECT COUNT(*) FROM t;
+`)
+	if out.Errors != 3 {
+		t.Fatalf("want 3 constraint errors, got %d (%v)", out.Errors, out.Errs)
+	}
+	res := lastResult(t, out)
+	if res.Rows[0][0].I != 2 {
+		t.Fatalf("count = %v, want 2", res.Rows[0][0])
+	}
+}
+
+func TestJoinsAndAggregates(t *testing.T) {
+	e := newPG(t)
+	out := run(t, e, `
+CREATE TABLE a (id INT, x INT);
+CREATE TABLE b (id INT, y INT);
+INSERT INTO a VALUES (1, 10), (2, 20), (3, 30);
+INSERT INTO b VALUES (1, 100), (2, 200);
+SELECT a.x, b.y FROM a JOIN b ON a.id = b.id ORDER BY a.x;
+SELECT a.x FROM a LEFT JOIN b ON a.id = b.id WHERE b.y IS NULL;
+SELECT SUM(x), COUNT(*), MAX(x) FROM a;
+SELECT id, COUNT(*) FROM a GROUP BY id HAVING COUNT(*) > 0 ORDER BY id;
+`)
+	if out.Errors != 0 {
+		t.Fatalf("errors: %v", out.Errs)
+	}
+	join := out.Results[4]
+	if len(join.Rows) != 2 || join.Rows[0][1].I != 100 {
+		t.Fatalf("join rows = %v", join.Rows)
+	}
+	anti := out.Results[5]
+	if len(anti.Rows) != 1 || anti.Rows[0][0].I != 30 {
+		t.Fatalf("anti-join rows = %v", anti.Rows)
+	}
+	agg := out.Results[6]
+	if agg.Rows[0][0].I != 60 || agg.Rows[0][1].I != 3 || agg.Rows[0][2].I != 30 {
+		t.Fatalf("agg rows = %v", agg.Rows)
+	}
+}
+
+func TestTransactions(t *testing.T) {
+	e := newPG(t)
+	out := run(t, e, `
+CREATE TABLE t (a INT);
+INSERT INTO t VALUES (1);
+BEGIN;
+INSERT INTO t VALUES (2);
+ROLLBACK;
+SELECT COUNT(*) FROM t;
+BEGIN;
+INSERT INTO t VALUES (3);
+SAVEPOINT sp1;
+INSERT INTO t VALUES (4);
+ROLLBACK TO SAVEPOINT sp1;
+COMMIT;
+SELECT COUNT(*) FROM t;
+`)
+	if out.Errors != 0 {
+		t.Fatalf("errors: %v", out.Errs)
+	}
+	if got := out.Results[5].Rows[0][0].I; got != 1 {
+		t.Fatalf("after rollback count = %d, want 1", got)
+	}
+	if got := out.Results[12].Rows[0][0].I; got != 2 {
+		t.Fatalf("after savepoint rollback count = %d, want 2", got)
+	}
+}
+
+func TestTriggersFire(t *testing.T) {
+	e := newPG(t)
+	out := run(t, e, `
+CREATE TABLE t (a INT);
+CREATE TABLE log (n INT);
+CREATE TRIGGER tr AFTER INSERT ON t FOR EACH ROW INSERT INTO log VALUES (1);
+INSERT INTO t VALUES (1);
+INSERT INTO t VALUES (2);
+SELECT COUNT(*) FROM log;
+`)
+	if out.Errors != 0 {
+		t.Fatalf("errors: %v", out.Errs)
+	}
+	if got := lastResult(t, out).Rows[0][0].I; got != 2 {
+		t.Fatalf("log count = %d, want 2", got)
+	}
+}
+
+func TestViewsAndCTE(t *testing.T) {
+	e := newPG(t)
+	out := run(t, e, `
+CREATE TABLE t (a INT);
+INSERT INTO t VALUES (1), (2), (3);
+CREATE VIEW v AS SELECT a FROM t WHERE a > 1;
+SELECT COUNT(*) FROM v;
+WITH c AS (SELECT a FROM t WHERE a < 3) SELECT COUNT(*) FROM c;
+`)
+	if out.Errors != 0 {
+		t.Fatalf("errors: %v", out.Errs)
+	}
+	if got := out.Results[3].Rows[0][0].I; got != 2 {
+		t.Fatalf("view count = %d", got)
+	}
+	if got := out.Results[4].Rows[0][0].I; got != 2 {
+		t.Fatalf("cte count = %d", got)
+	}
+}
+
+func TestDialectGating(t *testing.T) {
+	e := New(Config{Dialect: sqlt.DialectComdb2})
+	tc := sqlparse.MustParseScript("NOTIFY chan1;")
+	out := e.RunTestCase(tc)
+	if out.Errors != 1 {
+		t.Fatalf("Comdb2 should reject NOTIFY, errs=%v", out.Errs)
+	}
+	e2 := New(Config{Dialect: sqlt.DialectPostgres})
+	out2 := e2.RunTestCase(tc)
+	if out2.Errors != 0 {
+		t.Fatalf("PostgreSQL should accept NOTIFY: %v", out2.Errs)
+	}
+}
+
+func TestCaseStudyBugFires(t *testing.T) {
+	// The paper's §V-B PostgreSQL SEGV: CREATE RULE -> NOTIFY -> COPY -> WITH.
+	e := New(Config{Dialect: sqlt.DialectPostgres, EnableHazards: true})
+	tc := sqlparse.MustParseScript(`
+CREATE TABLE v0 (v4 INT, v3 INT UNIQUE, v2 INT, v1 INT UNIQUE);
+CREATE OR REPLACE RULE v1 AS ON INSERT TO v0 DO INSTEAD NOTIFY compression;
+COPY (SELECT 32 EXCEPT SELECT v3 + 16 FROM v0) TO STDOUT CSV HEADER;
+WITH v2 AS (INSERT INTO v0 VALUES (0)) DELETE FROM v0 WHERE v3 = 48;
+`)
+	out := e.RunTestCase(tc)
+	if out.Crash == nil {
+		t.Fatal("expected the jointree SEGV to fire")
+	}
+	if out.Crash.ID != "BUG #17152" || out.Crash.Component != "Optimizer" {
+		t.Fatalf("wrong bug: %+v", out.Crash)
+	}
+	// Without hazards armed the same input must execute without crashing.
+	e2 := New(Config{Dialect: sqlt.DialectPostgres})
+	if out2 := e2.RunTestCase(tc); out2.Crash != nil {
+		t.Fatalf("disarmed engine crashed: %v", out2.Crash)
+	}
+}
+
+func TestHazardWindowMatching(t *testing.T) {
+	// MySQL Fig. 3 sequence: CREATE TABLE -> INSERT -> CREATE TRIGGER -> SELECT.
+	e := New(Config{Dialect: sqlt.DialectMySQL, EnableHazards: true})
+	tc := sqlparse.MustParseScript(`
+CREATE TABLE v0 (v1 INT);
+INSERT INTO v0 VALUES (1);
+CREATE TRIGGER tg AFTER UPDATE ON v0 FOR EACH ROW INSERT INTO v0 VALUES (2);
+SELECT * FROM v0;
+`)
+	out := e.RunTestCase(tc)
+	if out.Crash == nil || out.Crash.ID != "CVE-2021-35643" {
+		t.Fatalf("want CVE-2021-35643, got %+v", out.Crash)
+	}
+	// A different order of the same statements must not crash.
+	e2 := New(Config{Dialect: sqlt.DialectMySQL, EnableHazards: true})
+	tc2 := sqlparse.MustParseScript(`
+CREATE TABLE v0 (v1 INT);
+CREATE TRIGGER tg AFTER UPDATE ON v0 FOR EACH ROW INSERT INTO v0 VALUES (2);
+INSERT INTO v0 VALUES (1);
+SELECT * FROM v0;
+`)
+	if out2 := e2.RunTestCase(tc2); out2.Crash != nil {
+		t.Fatalf("permuted sequence should not crash, got %v", out2.Crash)
+	}
+}
+
+func TestCoverageAccumulates(t *testing.T) {
+	e := newPG(t)
+	tc := sqlparse.MustParseScript("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+	e.Tracer().Reset()
+	e.RunTestCase(tc)
+	if e.Tracer().Edges() == 0 {
+		t.Fatal("no edges recorded")
+	}
+}
+
+func TestBugCorpusCounts(t *testing.T) {
+	want := map[sqlt.Dialect]int{
+		sqlt.DialectPostgres: 6,
+		sqlt.DialectMySQL:    21,
+		sqlt.DialectMariaDB:  42,
+		sqlt.DialectComdb2:   33,
+	}
+	total := 0
+	for d, bugs := range AllBugs() {
+		if len(bugs) != want[d] {
+			t.Errorf("%s: %d bugs, want %d (Table I)", d, len(bugs), want[d])
+		}
+		total += len(bugs)
+		// every pattern type must be inside the dialect profile
+		ids := map[string]bool{}
+		for _, b := range bugs {
+			if ids[b.ID] {
+				t.Errorf("%s: duplicate bug id %s", d, b.ID)
+			}
+			ids[b.ID] = true
+			for _, pt := range b.Pattern {
+				if !d.Supports(pt) {
+					t.Errorf("%s: bug %s pattern uses unsupported type %s", d, b.ID, pt)
+				}
+			}
+		}
+	}
+	if total != 102 {
+		t.Fatalf("total bugs = %d, want 102", total)
+	}
+}

@@ -1,0 +1,269 @@
+package minidb
+
+import (
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/sqlparse"
+	"github.com/seqfuzz/lego/internal/sqlt"
+)
+
+func TestAlterSystemAndRoles(t *testing.T) {
+	e := newPG(t)
+	out := run(t, e, `
+ALTER SYSTEM SET max_connections = 10;
+CREATE ROLE r1 WITH LOGIN;
+ALTER ROLE r1 WITH NOLOGIN;
+CREATE DATABASE d1;
+ALTER DATABASE d1 SET opt;
+`)
+	if out.Errors != 0 {
+		t.Fatalf("errors: %v", out.Errs)
+	}
+	if e.sess.globals["max_connections"].I != 10 {
+		t.Fatal("ALTER SYSTEM must set the global")
+	}
+	if e.cat.Roles["r1"].Option != "NOLOGIN" {
+		t.Fatal("ALTER ROLE must update the option")
+	}
+}
+
+func TestSchemasExtensionsTypes(t *testing.T) {
+	e := newPG(t)
+	out := e.RunTestCase(sqlparse.MustParseScript(`
+CREATE SCHEMA app;
+CREATE SCHEMA app;
+DROP SCHEMA app;
+CREATE EXTENSION pgcrypto;
+CREATE EXTENSION pgcrypto;
+DROP EXTENSION pgcrypto;
+CREATE TYPE mood AS ENUM ('a', 'b');
+DROP TYPE mood;
+DROP TYPE mood;
+`))
+	for _, i := range []int{1, 4, 8} {
+		if out.Errs[i] == nil {
+			t.Errorf("stmt %d (duplicate/missing) should error", i)
+		}
+	}
+	for _, i := range []int{0, 2, 3, 5, 6, 7} {
+		if out.Errs[i] != nil {
+			t.Errorf("stmt %d failed: %v", i, out.Errs[i])
+		}
+	}
+}
+
+func TestAlterViewIndexSequence(t *testing.T) {
+	e := newPG(t)
+	out := run(t, e, `
+CREATE TABLE t (a INT);
+CREATE VIEW v AS SELECT a FROM t;
+ALTER VIEW v RENAME TO v2;
+CREATE INDEX i ON t (a);
+ALTER INDEX i RENAME TO i2;
+CREATE SEQUENCE s START WITH 1;
+ALTER SEQUENCE s RESTART WITH 100;
+SELECT NEXTVAL('s');
+`)
+	if out.Errors != 0 {
+		t.Fatalf("errors: %v", out.Errs)
+	}
+	if _, exists := e.cat.Views["v2"]; !exists {
+		t.Fatal("view rename lost")
+	}
+	if _, exists := e.cat.Indexes["i2"]; !exists {
+		t.Fatal("index rename lost")
+	}
+	if got := lastResult(t, out).Rows[0][0].I; got != 101 {
+		t.Fatalf("restarted sequence nextval = %d, want 101", got)
+	}
+}
+
+func TestRenameTableMySQLForm(t *testing.T) {
+	e := New(Config{Dialect: sqlt.DialectMySQL})
+	out := e.RunTestCase(sqlparse.MustParseScript(`
+CREATE TABLE log (n INT);
+CREATE TABLE old (a INT);
+CREATE TRIGGER tg AFTER INSERT ON old FOR EACH ROW INSERT INTO log VALUES (1);
+RENAME TABLE old TO new;
+INSERT INTO new VALUES (5);
+`))
+	for i, err := range out.Errs {
+		if err != nil {
+			t.Fatalf("stmt %d: %v", i, err)
+		}
+	}
+	if e.cat.Triggers["tg"].Table != "new" {
+		t.Fatal("rename must retarget triggers")
+	}
+}
+
+func TestSetTransactionModes(t *testing.T) {
+	e := newPG(t)
+	out := e.RunTestCase(sqlparse.MustParseScript(`
+SET TRANSACTION ISOLATION LEVEL SERIALIZABLE;
+SET TRANSACTION ISOLATION LEVEL NOT A LEVEL;
+`))
+	if out.Errs[0] != nil {
+		t.Fatalf("valid isolation failed: %v", out.Errs[0])
+	}
+	if out.Errs[1] == nil {
+		t.Fatal("bogus isolation must fail")
+	}
+	if e.sess.isolation != "SERIALIZABLE" {
+		t.Fatal("isolation not recorded")
+	}
+}
+
+func TestExplainDMLPlans(t *testing.T) {
+	e := newPG(t)
+	out := run(t, e, `
+CREATE TABLE t (a INT);
+EXPLAIN INSERT INTO t VALUES (1);
+EXPLAIN UPDATE t SET a = 2;
+EXPLAIN DELETE FROM t;
+EXPLAIN ANALYZE INSERT INTO t VALUES (9);
+SELECT COUNT(*) FROM t;
+`)
+	if out.Errors != 0 {
+		t.Fatalf("errors: %v", out.Errs)
+	}
+	if out.Results[1].Rows[0][0].S != "Insert on t" {
+		t.Fatalf("insert plan = %v", out.Results[1].Rows)
+	}
+	// EXPLAIN ANALYZE executes; plain EXPLAIN does not.
+	if got := lastResult(t, out).Rows[0][0].I; got != 1 {
+		t.Fatalf("row count = %d: only EXPLAIN ANALYZE should execute", got)
+	}
+}
+
+func TestGrantOnViewAndRevoke(t *testing.T) {
+	e := newPG(t)
+	out := e.RunTestCase(sqlparse.MustParseScript(`
+CREATE TABLE t (a INT);
+CREATE VIEW v AS SELECT a FROM t;
+CREATE ROLE r;
+GRANT SELECT ON v TO r;
+GRANT ALL ON t TO r;
+REVOKE ALL ON t FROM r;
+SET ROLE r;
+INSERT INTO t VALUES (1);
+`))
+	if out.Errs[3] != nil || out.Errs[4] != nil || out.Errs[5] != nil {
+		t.Fatalf("grant plumbing failed: %v", out.Errs)
+	}
+	if out.Errs[7] == nil {
+		t.Fatal("revoked insert must fail")
+	}
+}
+
+func TestUnlistenStar(t *testing.T) {
+	e := newPG(t)
+	run(t, e, `
+LISTEN a;
+LISTEN b;
+UNLISTEN *;
+NOTIFY a;
+NOTIFY b;
+`)
+	if len(e.sess.notices) != 0 {
+		t.Fatalf("UNLISTEN * must clear all channels: %v", e.sess.notices)
+	}
+}
+
+func TestNTileWindow(t *testing.T) {
+	rows := query(t, `
+CREATE TABLE w (v INT);
+INSERT INTO w VALUES (1), (2), (3), (4);
+`, "SELECT NTILE(2) OVER (ORDER BY v) FROM w ORDER BY 1")
+	if len(rows) != 4 || rows[0][0].I != 1 || rows[3][0].I != 2 {
+		t.Fatalf("ntile rows = %v", rows)
+	}
+}
+
+func TestTableStmtOnView(t *testing.T) {
+	rows := query(t, `
+CREATE TABLE t (a INT);
+INSERT INTO t VALUES (1), (2);
+CREATE VIEW v AS SELECT a FROM t WHERE a > 1;
+`, "TABLE v")
+	if len(rows) != 1 {
+		t.Fatalf("TABLE over view = %v", rows)
+	}
+}
+
+func TestCheckTableDetectsCorruption(t *testing.T) {
+	// CHECK TABLE is a pure read; force "corruption" by bypassing
+	// constraint checks through direct state manipulation.
+	e := New(Config{Dialect: sqlt.DialectMySQL})
+	run(t, e, "CREATE TABLE t (a INT UNIQUE);")
+	tbl := e.cat.Tables["t"]
+	tbl.Rows = append(tbl.Rows, []Value{Int(1)}, []Value{Int(1)})
+	res, err := e.ExecStmt(sqlparse.MustParse("CHECK TABLE t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Msg != "CHECK: corrupt" {
+		t.Fatalf("msg = %q", res.Msg)
+	}
+}
+
+func TestTempTableFlagAndDiscardTemp(t *testing.T) {
+	e := newPG(t)
+	run(t, e, `
+CREATE TEMPORARY TABLE tt (a INT);
+DISCARD TEMP;
+`)
+	if _, exists := e.cat.Tables["tt"]; exists {
+		t.Fatal("DISCARD TEMP must drop temporary tables")
+	}
+}
+
+func TestMaintenanceSetsAnalyzed(t *testing.T) {
+	e := New(Config{Dialect: sqlt.DialectMySQL})
+	run(t, e, `
+CREATE TABLE t (a INT);
+INSERT INTO t VALUES (1);
+OPTIMIZE TABLE t;
+`)
+	if !e.cat.Tables["t"].analyzed {
+		t.Fatal("OPTIMIZE must refresh statistics")
+	}
+}
+
+func TestCreateTriggerOnMissingTable(t *testing.T) {
+	e := newPG(t)
+	out := e.RunTestCase(sqlparse.MustParseScript(
+		"CREATE TRIGGER tg AFTER INSERT ON missing FOR EACH ROW DELETE FROM missing;"))
+	if out.Errors != 1 {
+		t.Fatal("trigger on missing table must fail")
+	}
+}
+
+func TestCreateViewValidatesQuery(t *testing.T) {
+	e := newPG(t)
+	out := e.RunTestCase(sqlparse.MustParseScript(
+		"CREATE VIEW v AS SELECT nope FROM missing;"))
+	if out.Errors != 1 {
+		t.Fatal("view over missing table must fail at creation")
+	}
+}
+
+func TestGroupConcatMultiple(t *testing.T) {
+	rows := query(t, `
+CREATE TABLE g (v TEXT);
+INSERT INTO g VALUES ('a'), ('b'), ('c');
+`, "SELECT GROUP_CONCAT(v) FROM g")
+	if rows[0][0].S != "a,b,c" {
+		t.Fatalf("group_concat = %q", rows[0][0].S)
+	}
+}
+
+func TestCorrelatedSubquery(t *testing.T) {
+	rows := query(t, `
+CREATE TABLE o (id INT, g INT);
+INSERT INTO o VALUES (1, 1), (2, 1), (3, 2);
+`, "SELECT id FROM o WHERE id = (SELECT MAX(id) FROM o AS i WHERE i.g = o.g) ORDER BY id")
+	if len(rows) != 2 || rows[0][0].I != 2 || rows[1][0].I != 3 {
+		t.Fatalf("correlated rows = %v", rows)
+	}
+}

@@ -1,0 +1,136 @@
+package minidb
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/instantiate"
+	"github.com/seqfuzz/lego/internal/sqlast"
+	"github.com/seqfuzz/lego/internal/sqlparse"
+	"github.com/seqfuzz/lego/internal/sqlt"
+)
+
+// TestEngineNeverPanicsOnGeneratedInput is the substrate's core safety
+// property: for arbitrary generated test cases, a disarmed engine must
+// return errors, never panic. RunTestCase re-raises non-BugReport panics,
+// so any engine defect fails this test loudly.
+func TestEngineNeverPanicsOnGeneratedInput(t *testing.T) {
+	for _, d := range sqlt.Dialects() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1234))
+			inst := instantiate.New(rng, instantiate.NewLibrary(), d)
+			eng := New(Config{Dialect: d})
+			types := d.Types()
+			for i := 0; i < 400; i++ {
+				n := 1 + rng.Intn(8)
+				seq := make(sqlt.Sequence, n)
+				for j := range seq {
+					seq[j] = types[rng.Intn(len(seq)+len(types))%len(types)]
+				}
+				tc := inst.TestCase(seq)
+				out := eng.RunTestCase(tc)
+				if out.Crash != nil {
+					t.Fatalf("disarmed engine crashed on %q: %v", tc.SQL(), out.Crash)
+				}
+			}
+		})
+	}
+}
+
+// TestArmedEngineOnlyRaisesBugReports: with hazards armed, the only panics
+// escaping statement execution are BugReports, captured as crashes.
+func TestArmedEngineOnlyRaisesBugReports(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	inst := instantiate.New(rng, instantiate.NewLibrary(), sqlt.DialectMariaDB)
+	eng := New(Config{Dialect: sqlt.DialectMariaDB, EnableHazards: true})
+	types := sqlt.DialectMariaDB.Types()
+	crashes := 0
+	for i := 0; i < 400; i++ {
+		n := 2 + rng.Intn(6)
+		seq := make(sqlt.Sequence, n)
+		for j := range seq {
+			seq[j] = types[rng.Intn(len(types))]
+		}
+		out := eng.RunTestCase(inst.TestCase(seq))
+		if out.Crash != nil {
+			crashes++
+			if out.Crash.ID == "" || out.Crash.Component == "" {
+				t.Fatalf("malformed report: %+v", out.Crash)
+			}
+		}
+	}
+	t.Logf("%d crashes over 400 random cases", crashes)
+}
+
+// TestResourceLimits verifies challenge C3's guards: table capacity and
+// trigger cascades are bounded.
+func TestResourceLimits(t *testing.T) {
+	e := New(Config{Dialect: sqlt.DialectPostgres, Limits: Limits{
+		MaxRowsPerTable: 4, MaxResultRows: 8, MaxTriggerDepth: 2,
+		MaxRewriteDepth: 3, MaxTriggerFires: 4,
+	}})
+	tc := mustScript(`
+CREATE TABLE t (a INT);
+INSERT INTO t VALUES (1), (2), (3), (4);
+INSERT INTO t VALUES (5);
+SELECT COUNT(*) FROM t;
+`)
+	out := e.RunTestCase(tc)
+	if out.Errs[2] == nil {
+		t.Fatal("over-capacity insert must fail")
+	}
+	if out.Results[3].Rows[0][0].I != 4 {
+		t.Fatal("capacity must hold at the limit")
+	}
+
+	// self-inserting trigger terminates via depth/fire caps
+	e2 := New(Config{Dialect: sqlt.DialectPostgres})
+	tc2 := mustScript(`
+CREATE TABLE t (a INT);
+CREATE TRIGGER boom AFTER INSERT ON t FOR EACH ROW INSERT INTO t VALUES (0);
+INSERT INTO t VALUES (1);
+SELECT COUNT(*) FROM t;
+`)
+	out2 := e2.RunTestCase(tc2)
+	if out2.Crash != nil {
+		t.Fatalf("crash: %v", out2.Crash)
+	}
+	n := lastOf(t, out2).Rows[0][0].I
+	if n < 2 || n > int64(DefaultLimits().MaxTriggerFires)+2 {
+		t.Fatalf("trigger cascade rows = %d, caps not applied", n)
+	}
+}
+
+// TestRewriteDepthBounded: mutually recursive rules terminate.
+func TestRewriteDepthBounded(t *testing.T) {
+	e := New(Config{Dialect: sqlt.DialectPostgres})
+	tc := mustScript(`
+CREATE TABLE a (x INT);
+CREATE TABLE b (x INT);
+CREATE RULE ra AS ON INSERT TO a DO INSTEAD INSERT INTO b VALUES (1);
+CREATE RULE rb AS ON INSERT TO b DO INSTEAD INSERT INTO a VALUES (2);
+INSERT INTO a VALUES (0);
+`)
+	out := e.RunTestCase(tc)
+	if out.Crash != nil {
+		t.Fatalf("crash: %v", out.Crash)
+	}
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func mustScript(sql string) sqlast.TestCase {
+	return sqlparse.MustParseScript(sql)
+}
+
+func lastOf(t *testing.T, out Outcome) *Result {
+	t.Helper()
+	for i := len(out.Results) - 1; i >= 0; i-- {
+		if out.Results[i] != nil {
+			return out.Results[i]
+		}
+	}
+	t.Fatal("no results")
+	return nil
+}

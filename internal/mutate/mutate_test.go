@@ -1,0 +1,175 @@
+package mutate
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/instantiate"
+	"github.com/seqfuzz/lego/internal/sqlparse"
+	"github.com/seqfuzz/lego/internal/sqlt"
+)
+
+func newMutator(seed int64, d sqlt.Dialect) *Mutator {
+	rng := rand.New(rand.NewSource(seed))
+	inst := instantiate.New(rng, instantiate.NewLibrary(), d)
+	return New(rng, inst, d)
+}
+
+var seedCase = `
+CREATE TABLE t1 (v1 INT, v2 INT);
+INSERT INTO t1 VALUES (1, 1);
+INSERT INTO t1 VALUES (2, 1);
+UPDATE t1 SET v1 = 1;
+SELECT v2 FROM t1 ORDER BY v1;
+`
+
+// TestSubstitutionChangesType mirrors Figure 5's substitution: the mutated
+// statement has a different type, the rest keep theirs.
+func TestSubstitutionChangesType(t *testing.T) {
+	m := newMutator(1, sqlt.DialectPostgres)
+	tc := sqlparse.MustParseScript(seedCase)
+	orig := tc.Types()
+
+	for trial := 0; trial < 20; trial++ {
+		out := m.SubstituteType(tc, 3)
+		if out == nil {
+			t.Fatal("substitution returned nil")
+		}
+		got := out.Types()
+		if len(got) != len(orig) {
+			t.Fatalf("length changed: %v", got)
+		}
+		if got[3] == orig[3] {
+			t.Fatalf("trial %d: type at 3 unchanged (%s)", trial, got[3])
+		}
+	}
+	// the input is never modified
+	if !tc.Types().Equal(orig) {
+		t.Fatal("seed mutated in place")
+	}
+}
+
+// TestInsertionAddsStatement mirrors Figure 5's insertion.
+func TestInsertionAddsStatement(t *testing.T) {
+	m := newMutator(2, sqlt.DialectPostgres)
+	tc := sqlparse.MustParseScript(seedCase)
+	orig := tc.Types()
+
+	out := m.InsertAfter(tc, 3)
+	if out == nil {
+		t.Fatal("insertion returned nil")
+	}
+	got := out.Types()
+	if len(got) != len(orig)+1 {
+		t.Fatalf("length = %d, want %d", len(got), len(orig)+1)
+	}
+	// prefix [0..3] and the shifted suffix keep their types
+	for i := 0; i <= 3; i++ {
+		if got[i] != orig[i] {
+			t.Fatalf("prefix changed at %d", i)
+		}
+	}
+	for i := 4; i < len(orig); i++ {
+		if got[i+1] != orig[i] {
+			t.Fatalf("suffix changed at %d", i)
+		}
+	}
+}
+
+// TestDeletionRemovesStatement mirrors Figure 5's deletion, which creates
+// the INSERT -> SELECT affinity from the original seed.
+func TestDeletionRemovesStatement(t *testing.T) {
+	m := newMutator(3, sqlt.DialectPostgres)
+	tc := sqlparse.MustParseScript(seedCase)
+	out := m.DeleteAt(tc, 3) // remove the UPDATE
+	if out == nil {
+		t.Fatal("deletion returned nil")
+	}
+	want := sqlt.Sequence{sqlt.CreateTable, sqlt.Insert, sqlt.Insert, sqlt.Select}
+	if !out.Types().Equal(want) {
+		t.Fatalf("types = %v, want %v", out.Types(), want)
+	}
+}
+
+func TestMutationBounds(t *testing.T) {
+	m := newMutator(4, sqlt.DialectPostgres)
+	tc := sqlparse.MustParseScript(seedCase)
+	if m.SubstituteType(tc, -1) != nil || m.SubstituteType(tc, 99) != nil {
+		t.Fatal("out-of-range substitution must return nil")
+	}
+	if m.InsertAfter(tc, 99) != nil {
+		t.Fatal("out-of-range insertion must return nil")
+	}
+	single := sqlparse.MustParseScript("SELECT 1;")
+	if m.DeleteAt(single, 0) != nil {
+		t.Fatal("deleting the only statement must return nil")
+	}
+}
+
+func TestInsertionRespectsMaxStatements(t *testing.T) {
+	m := newMutator(5, sqlt.DialectPostgres)
+	m.MaxStatements = 5
+	tc := sqlparse.MustParseScript(seedCase) // exactly 5 statements
+	if m.InsertAfter(tc, 0) != nil {
+		t.Fatal("insertion past MaxStatements must return nil (challenge C3)")
+	}
+}
+
+// TestConventionalMutationPreservesSequence is the defining property of
+// SQUIRREL-style mutation the paper contrasts against: structure and data
+// change, the SQL Type Sequence does not.
+func TestConventionalMutationPreservesSequence(t *testing.T) {
+	m := newMutator(6, sqlt.DialectMariaDB)
+	tc := sqlparse.MustParseScript(seedCase)
+	orig := tc.Types()
+	changedText := false
+	for trial := 0; trial < 50; trial++ {
+		out := m.MutateValues(tc)
+		if out == nil {
+			t.Fatal("MutateValues returned nil")
+		}
+		if !out.Types().Equal(orig) {
+			t.Fatalf("sequence changed: %v", out.Types())
+		}
+		if out.SQL() != tc.SQL() {
+			changedText = true
+		}
+	}
+	if !changedText {
+		t.Fatal("50 mutants identical to the seed — mutation is a no-op")
+	}
+}
+
+func TestSubstitutionRespectsDialect(t *testing.T) {
+	m := newMutator(7, sqlt.DialectComdb2)
+	tc := sqlparse.MustParseScript(seedCase)
+	for trial := 0; trial < 50; trial++ {
+		out := m.SubstituteType(tc, 2)
+		if out == nil {
+			continue
+		}
+		if !sqlt.DialectComdb2.Supports(out.Types()[2]) {
+			t.Fatalf("substituted type %s not in Comdb2 profile", out.Types()[2])
+		}
+	}
+}
+
+func TestMutantsStayParseable(t *testing.T) {
+	m := newMutator(8, sqlt.DialectPostgres)
+	tc := sqlparse.MustParseScript(seedCase)
+	for trial := 0; trial < 100; trial++ {
+		var out = m.MutateValues(tc)
+		switch trial % 3 {
+		case 1:
+			out = m.SubstituteType(tc, trial%len(tc))
+		case 2:
+			out = m.InsertAfter(tc, trial%len(tc))
+		}
+		if out == nil {
+			continue
+		}
+		if _, err := sqlparse.ParseScript(out.SQL()); err != nil {
+			t.Fatalf("mutant unparseable: %v\n%s", err, out.SQL())
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package oracle collects and deduplicates crashes. The paper distinguishes
+// bugs "from unique crashes by comparing the call stack" (§V-A); the oracle
+// applies the same rule to the synthetic stacks carried by BugReports.
+package oracle
+
+import (
+	"sort"
+
+	"github.com/seqfuzz/lego/internal/minidb"
+	"github.com/seqfuzz/lego/internal/sqlast"
+)
+
+// Crash is one deduplicated bug with its first reproducer.
+type Crash struct {
+	Report      *minidb.BugReport
+	Reproducer  sqlast.TestCase
+	FoundAtExec int // execution count when first seen
+	Hits        int // total times the same stack was observed
+}
+
+// Oracle deduplicates crashes by stack key.
+type Oracle struct {
+	seen  map[string]*Crash
+	order []string
+}
+
+// New returns an empty oracle.
+func New() *Oracle {
+	return &Oracle{seen: map[string]*Crash{}}
+}
+
+// Record registers a crash. It returns true when the call stack was not seen
+// before (a new unique bug).
+func (o *Oracle) Record(r *minidb.BugReport, tc sqlast.TestCase, execs int) bool {
+	key := r.StackKey()
+	if c, ok := o.seen[key]; ok {
+		c.Hits++
+		return false
+	}
+	o.seen[key] = &Crash{Report: r, Reproducer: tc, FoundAtExec: execs, Hits: 1}
+	o.order = append(o.order, key)
+	return true
+}
+
+// Count returns the number of unique bugs found.
+func (o *Oracle) Count() int { return len(o.seen) }
+
+// Crashes returns the unique crashes in discovery order.
+func (o *Oracle) Crashes() []*Crash {
+	out := make([]*Crash, 0, len(o.order))
+	for _, k := range o.order {
+		out = append(out, o.seen[k])
+	}
+	return out
+}
+
+// IDs returns the sorted bug identifiers found.
+func (o *Oracle) IDs() []string {
+	var ids []string
+	for _, c := range o.Crashes() {
+		ids = append(ids, c.Report.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ByComponent tallies unique bugs per engine component.
+func (o *Oracle) ByComponent() map[string]int {
+	m := map[string]int{}
+	for _, c := range o.Crashes() {
+		m[c.Report.Component]++
+	}
+	return m
+}
+
+// ByKind tallies unique bugs per memory-safety class.
+func (o *Oracle) ByKind() map[string]int {
+	m := map[string]int{}
+	for _, c := range o.Crashes() {
+		m[c.Report.Kind]++
+	}
+	return m
+}

@@ -1,0 +1,90 @@
+package oracle
+
+import (
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/minidb"
+	"github.com/seqfuzz/lego/internal/sqlparse"
+	"github.com/seqfuzz/lego/internal/sqlt"
+)
+
+func report(id, comp, kind string, stack ...string) *minidb.BugReport {
+	return &minidb.BugReport{
+		ID: id, Dialect: sqlt.DialectMySQL, Component: comp, Kind: kind, Stack: stack,
+	}
+}
+
+func TestDedupByStack(t *testing.T) {
+	o := New()
+	tc := sqlparse.MustParseScript("SELECT 1;")
+
+	if !o.Record(report("BUG-1", "Optimizer", "SEGV", "f", "g"), tc, 10) {
+		t.Fatal("first crash is new")
+	}
+	if o.Record(report("BUG-1", "Optimizer", "SEGV", "f", "g"), tc, 20) {
+		t.Fatal("same stack is a duplicate")
+	}
+	if !o.Record(report("BUG-2", "Optimizer", "SEGV", "f", "h"), tc, 30) {
+		t.Fatal("different stack is a new bug")
+	}
+	if o.Count() != 2 {
+		t.Fatalf("count = %d", o.Count())
+	}
+	crashes := o.Crashes()
+	if crashes[0].Hits != 2 || crashes[1].Hits != 1 {
+		t.Fatalf("hit counts = %d, %d", crashes[0].Hits, crashes[1].Hits)
+	}
+	if crashes[0].FoundAtExec != 10 {
+		t.Fatal("first-seen exec must be preserved")
+	}
+}
+
+func TestDialectSeparatesStacks(t *testing.T) {
+	o := New()
+	tc := sqlparse.MustParseScript("SELECT 1;")
+	a := report("BUG-1", "Optimizer", "SEGV", "f")
+	b := report("BUG-1", "Optimizer", "SEGV", "f")
+	b.Dialect = sqlt.DialectMariaDB
+	o.Record(a, tc, 1)
+	if !o.Record(b, tc, 2) {
+		t.Fatal("same stack in a different DBMS is a distinct bug")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	o := New()
+	tc := sqlparse.MustParseScript("SELECT 1;")
+	o.Record(report("Z", "C", "AF", "z"), tc, 1)
+	o.Record(report("A", "C", "AF", "a"), tc, 2)
+	ids := o.IDs()
+	if len(ids) != 2 || ids[0] != "A" || ids[1] != "Z" {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestTallies(t *testing.T) {
+	o := New()
+	tc := sqlparse.MustParseScript("SELECT 1;")
+	o.Record(report("1", "Optimizer", "SEGV", "a"), tc, 1)
+	o.Record(report("2", "Optimizer", "UAF", "b"), tc, 2)
+	o.Record(report("3", "Parser", "SEGV", "c"), tc, 3)
+
+	byComp := o.ByComponent()
+	if byComp["Optimizer"] != 2 || byComp["Parser"] != 1 {
+		t.Fatalf("byComponent = %v", byComp)
+	}
+	byKind := o.ByKind()
+	if byKind["SEGV"] != 2 || byKind["UAF"] != 1 {
+		t.Fatalf("byKind = %v", byKind)
+	}
+}
+
+func TestReproducerPreserved(t *testing.T) {
+	o := New()
+	tc := sqlparse.MustParseScript("CREATE TABLE t (a INT); SELECT * FROM t;")
+	o.Record(report("R", "C", "AF", "r"), tc, 5)
+	got := o.Crashes()[0].Reproducer
+	if len(got) != 2 {
+		t.Fatalf("reproducer = %v", got)
+	}
+}

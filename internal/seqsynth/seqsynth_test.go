@@ -1,0 +1,192 @@
+package seqsynth
+
+import (
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/affinity"
+	"github.com/seqfuzz/lego/internal/sqlt"
+)
+
+func TestOnNewAffinityBasic(t *testing.T) {
+	// With starts {CREATE TABLE} and affinity CT->INSERT, the new sequences
+	// are exactly those containing CT->INSERT up to LEN.
+	aff := affinity.NewMap()
+	sy := New(aff, 3)
+	sy.AddStart(sqlt.CreateTable)
+
+	aff.Add(sqlt.CreateTable, sqlt.Insert)
+	seqs := sy.OnNewAffinity(sqlt.CreateTable, sqlt.Insert)
+	if len(seqs) == 0 {
+		t.Fatal("no sequences synthesized")
+	}
+	for _, s := range seqs {
+		if !s.Contains(sqlt.CreateTable, sqlt.Insert) {
+			t.Fatalf("sequence %v lacks the new affinity", s)
+		}
+		if len(s) > 3 {
+			t.Fatalf("sequence %v exceeds LEN", s)
+		}
+	}
+}
+
+func TestProgressiveSynthesisMatchesPaperExample(t *testing.T) {
+	// Paper §III-B example: target length 2, current sequence "CREATE
+	// TABLE", affinity CREATE TABLE -> [INSERT, SELECT] gives exactly
+	// "CREATE TABLE, INSERT" and "CREATE TABLE, SELECT".
+	aff := affinity.NewMap()
+	sy := New(aff, 2)
+	sy.AddStart(sqlt.CreateTable)
+
+	aff.Add(sqlt.CreateTable, sqlt.Insert)
+	s1 := sy.OnNewAffinity(sqlt.CreateTable, sqlt.Insert)
+	aff.Add(sqlt.CreateTable, sqlt.Select)
+	s2 := sy.OnNewAffinity(sqlt.CreateTable, sqlt.Select)
+
+	if len(s1) != 1 || !s1[0].Equal(sqlt.Sequence{sqlt.CreateTable, sqlt.Insert}) {
+		t.Fatalf("s1 = %v", s1)
+	}
+	if len(s2) != 1 || !s2[0].Equal(sqlt.Sequence{sqlt.CreateTable, sqlt.Select}) {
+		t.Fatalf("s2 = %v", s2)
+	}
+}
+
+func TestOnlyNewSequencesAreGenerated(t *testing.T) {
+	// Figure 6: when affinity 4->6 arrives, only sequences containing 4->6
+	// are produced — the earlier tree is not regenerated.
+	aff := affinity.NewMap()
+	sy := New(aff, 4)
+	sy.AddStart(sqlt.CreateTable)
+
+	aff.Add(sqlt.CreateTable, sqlt.Insert)
+	sy.OnNewAffinity(sqlt.CreateTable, sqlt.Insert)
+	aff.Add(sqlt.Insert, sqlt.Select)
+	fresh := sy.OnNewAffinity(sqlt.Insert, sqlt.Select)
+	for _, s := range fresh {
+		if !s.Contains(sqlt.Insert, sqlt.Select) {
+			t.Fatalf("sequence %v does not contain the new affinity", s)
+		}
+	}
+}
+
+func TestSynthesisUsesKnownAffinitiesForExtension(t *testing.T) {
+	// With CT->I known and then I->S discovered, extensions continue via
+	// known affinities: CT,I,S and CT,I,S,? if any successor of S is known.
+	aff := affinity.NewMap()
+	sy := New(aff, 4)
+	sy.AddStart(sqlt.CreateTable)
+
+	aff.Add(sqlt.CreateTable, sqlt.Insert)
+	sy.OnNewAffinity(sqlt.CreateTable, sqlt.Insert)
+	aff.Add(sqlt.Insert, sqlt.Select)
+	seqs := sy.OnNewAffinity(sqlt.Insert, sqlt.Select)
+
+	found := false
+	for _, s := range seqs {
+		if s.Equal(sqlt.Sequence{sqlt.CreateTable, sqlt.Insert, sqlt.Select}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected CT,I,S among %v", seqs)
+	}
+}
+
+func TestPrefixSequenceIndexGrows(t *testing.T) {
+	aff := affinity.NewMap()
+	sy := New(aff, 5)
+	sy.AddStart(sqlt.CreateTable)
+	if sy.NumSequences() != 1 {
+		t.Fatalf("start seeds one sequence, got %d", sy.NumSequences())
+	}
+	aff.Add(sqlt.CreateTable, sqlt.Insert)
+	sy.OnNewAffinity(sqlt.CreateTable, sqlt.Insert)
+	n1 := sy.NumSequences()
+	if n1 < 2 {
+		t.Fatalf("sequences after first affinity = %d", n1)
+	}
+	aff.Add(sqlt.Insert, sqlt.Delete)
+	sy.OnNewAffinity(sqlt.Insert, sqlt.Delete)
+	if sy.NumSequences() <= n1 {
+		t.Fatal("index must grow with each affinity")
+	}
+}
+
+func TestMaxPerAffinityCap(t *testing.T) {
+	aff := affinity.NewMap()
+	sy := New(aff, 6)
+	sy.MaxPerAffinity = 10
+	sy.AddStart(sqlt.CreateTable)
+	// dense affinity graph
+	types := []sqlt.Type{sqlt.CreateTable, sqlt.Insert, sqlt.Select, sqlt.Update, sqlt.Delete}
+	for _, a := range types {
+		for _, b := range types {
+			aff.Add(a, b)
+		}
+	}
+	seqs := sy.OnNewAffinity(sqlt.CreateTable, sqlt.Insert)
+	if len(seqs) > 10 {
+		t.Fatalf("cap violated: %d sequences", len(seqs))
+	}
+}
+
+func TestNoPrefixNoOutput(t *testing.T) {
+	// an affinity whose source type has no prefix sequence yields nothing
+	aff := affinity.NewMap()
+	sy := New(aff, 3)
+	sy.AddStart(sqlt.CreateTable)
+	aff.Add(sqlt.Vacuum, sqlt.Select)
+	if seqs := sy.OnNewAffinity(sqlt.Vacuum, sqlt.Select); len(seqs) != 0 {
+		t.Fatalf("got %v, want none (no prefix ends with VACUUM)", seqs)
+	}
+}
+
+func TestAddStartIdempotent(t *testing.T) {
+	aff := affinity.NewMap()
+	sy := New(aff, 3)
+	sy.AddStart(sqlt.CreateTable)
+	sy.AddStart(sqlt.CreateTable)
+	if sy.NumSequences() != 1 {
+		t.Fatalf("duplicate start must not re-seed: %d", sy.NumSequences())
+	}
+	sy.AddStart(sqlt.Invalid)
+	if sy.NumSequences() != 1 {
+		t.Fatal("invalid start must be ignored")
+	}
+}
+
+func TestMinimumLen(t *testing.T) {
+	sy := New(affinity.NewMap(), 0)
+	if sy.LEN != 2 {
+		t.Fatalf("LEN clamped to 2, got %d", sy.LEN)
+	}
+}
+
+func TestAllSequencesRespectLenAndAffinities(t *testing.T) {
+	aff := affinity.NewMap()
+	sy := New(aff, 4)
+	sy.AddStart(sqlt.CreateTable)
+	sy.AddStart(sqlt.SetVar)
+
+	pairs := []affinity.Pair{
+		{From: sqlt.CreateTable, To: sqlt.Insert},
+		{From: sqlt.Insert, To: sqlt.Select},
+		{From: sqlt.Select, To: sqlt.Delete},
+		{From: sqlt.SetVar, To: sqlt.CreateTable},
+	}
+	var all []sqlt.Sequence
+	for _, p := range pairs {
+		aff.Add(p.From, p.To)
+		all = append(all, sy.OnNewAffinity(p.From, p.To)...)
+	}
+	for _, s := range all {
+		if len(s) < 2 || len(s) > 4 {
+			t.Fatalf("bad length: %v", s)
+		}
+		// every adjacent pair must be a recorded affinity
+		for i := 0; i+1 < len(s); i++ {
+			if !aff.Has(s[i], s[i+1]) {
+				t.Fatalf("sequence %v uses unrecorded affinity %s->%s", s, s[i], s[i+1])
+			}
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package sqlast
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/seqfuzz/lego/internal/sqlt"
+)
+
+// ---------------------------------------------------------------------------
+// DCL
+
+// GrantStmt is GRANT privs ON table TO role, and REVOKE ... FROM role.
+type GrantStmt struct {
+	Revoke bool
+	Privs  []string // SELECT, INSERT, UPDATE, DELETE, ALL
+	Table  string
+	Role   string
+}
+
+// Type implements Statement.
+func (s *GrantStmt) Type() sqlt.Type {
+	if s.Revoke {
+		return sqlt.Revoke
+	}
+	return sqlt.Grant
+}
+
+// SQL implements Statement.
+func (s *GrantStmt) SQL() string {
+	verb, link := "GRANT", " TO "
+	if s.Revoke {
+		verb, link = "REVOKE", " FROM "
+	}
+	return verb + " " + strings.Join(s.Privs, ", ") + " ON " + s.Table + link + s.Role
+}
+
+// SetRoleStmt is SET ROLE name.
+type SetRoleStmt struct{ Role string }
+
+// Type implements Statement.
+func (*SetRoleStmt) Type() sqlt.Type { return sqlt.SetRole }
+
+// SQL implements Statement.
+func (s *SetRoleStmt) SQL() string { return "SET ROLE " + s.Role }
+
+// ---------------------------------------------------------------------------
+// TCL
+
+// TxnStmt covers the keyword-only transaction statements plus savepoints.
+type TxnStmt struct {
+	What sqlt.Type // Begin, Commit, Rollback, Savepoint, ReleaseSavepoint, RollbackToSavepoint
+	Name string    // savepoint name where applicable
+}
+
+// Type implements Statement.
+func (s *TxnStmt) Type() sqlt.Type { return s.What }
+
+// SQL implements Statement.
+func (s *TxnStmt) SQL() string {
+	switch s.What {
+	case sqlt.Begin:
+		return "BEGIN"
+	case sqlt.Commit:
+		return "COMMIT"
+	case sqlt.Rollback:
+		return "ROLLBACK"
+	case sqlt.Savepoint:
+		return "SAVEPOINT " + s.Name
+	case sqlt.ReleaseSavepoint:
+		return "RELEASE SAVEPOINT " + s.Name
+	default: // RollbackToSavepoint
+		return "ROLLBACK TO SAVEPOINT " + s.Name
+	}
+}
+
+// SetTransactionStmt is SET TRANSACTION ISOLATION LEVEL mode.
+type SetTransactionStmt struct {
+	Mode string // "READ COMMITTED", "SERIALIZABLE", ...
+}
+
+// Type implements Statement.
+func (*SetTransactionStmt) Type() sqlt.Type { return sqlt.SetTransaction }
+
+// SQL implements Statement.
+func (s *SetTransactionStmt) SQL() string {
+	return "SET TRANSACTION ISOLATION LEVEL " + s.Mode
+}
+
+// LockTableStmt is LOCK TABLE name [IN mode MODE].
+type LockTableStmt struct {
+	Table string
+	Mode  string // "SHARE", "EXCLUSIVE"
+}
+
+// Type implements Statement.
+func (*LockTableStmt) Type() sqlt.Type { return sqlt.LockTable }
+
+// SQL implements Statement.
+func (s *LockTableStmt) SQL() string {
+	if s.Mode == "" {
+		return "LOCK TABLE " + s.Table
+	}
+	return "LOCK TABLE " + s.Table + " IN " + s.Mode + " MODE"
+}
+
+// ---------------------------------------------------------------------------
+// Session and utility
+
+// SetVarStmt is SET [SESSION|GLOBAL] name = value. The MySQL @@SESSION.name
+// form parses to this node too.
+type SetVarStmt struct {
+	Global bool
+	Name   string
+	Value  Expr
+}
+
+// Type implements Statement.
+func (*SetVarStmt) Type() sqlt.Type { return sqlt.SetVar }
+
+// SQL implements Statement.
+func (s *SetVarStmt) SQL() string {
+	scope := "SESSION"
+	if s.Global {
+		scope = "GLOBAL"
+	}
+	return "SET " + scope + " " + s.Name + " = " + maybeParen(s.Value)
+}
+
+// ResetVarStmt is RESET name.
+type ResetVarStmt struct{ Name string }
+
+// Type implements Statement.
+func (*ResetVarStmt) Type() sqlt.Type { return sqlt.ResetVar }
+
+// SQL implements Statement.
+func (s *ResetVarStmt) SQL() string { return "RESET " + s.Name }
+
+// PragmaStmt is PRAGMA name [= value].
+type PragmaStmt struct {
+	Name  string
+	Value Expr // optional
+}
+
+// Type implements Statement.
+func (*PragmaStmt) Type() sqlt.Type { return sqlt.Pragma }
+
+// SQL implements Statement.
+func (s *PragmaStmt) SQL() string {
+	if s.Value == nil {
+		return "PRAGMA " + s.Name
+	}
+	return "PRAGMA " + s.Name + " = " + maybeParen(s.Value)
+}
+
+// UseStmt is USE dbname.
+type UseStmt struct{ DB string }
+
+// Type implements Statement.
+func (*UseStmt) Type() sqlt.Type { return sqlt.Use }
+
+// SQL implements Statement.
+func (s *UseStmt) SQL() string { return "USE " + s.DB }
+
+// AnalyzeStmt is ANALYZE [table].
+type AnalyzeStmt struct{ Table string }
+
+// Type implements Statement.
+func (*AnalyzeStmt) Type() sqlt.Type { return sqlt.Analyze }
+
+// SQL implements Statement.
+func (s *AnalyzeStmt) SQL() string {
+	if s.Table == "" {
+		return "ANALYZE"
+	}
+	return "ANALYZE " + s.Table
+}
+
+// VacuumStmt is VACUUM [FULL] [table].
+type VacuumStmt struct {
+	Full  bool
+	Table string
+}
+
+// Type implements Statement.
+func (*VacuumStmt) Type() sqlt.Type { return sqlt.Vacuum }
+
+// SQL implements Statement.
+func (s *VacuumStmt) SQL() string {
+	out := "VACUUM"
+	if s.Full {
+		out += " FULL"
+	}
+	if s.Table != "" {
+		out += " " + s.Table
+	}
+	return out
+}
+
+// MaintenanceStmt covers the MySQL-family single-table maintenance
+// statements: OPTIMIZE TABLE, CHECK TABLE.
+type MaintenanceStmt struct {
+	What  sqlt.Type // OptimizeTable or CheckTable
+	Table string
+}
+
+// Type implements Statement.
+func (s *MaintenanceStmt) Type() sqlt.Type { return s.What }
+
+// SQL implements Statement.
+func (s *MaintenanceStmt) SQL() string {
+	if s.What == sqlt.OptimizeTable {
+		return "OPTIMIZE TABLE " + s.Table
+	}
+	return "CHECK TABLE " + s.Table
+}
+
+// FlushStmt is FLUSH what (TABLES, LOGS, PRIVILEGES).
+type FlushStmt struct{ What string }
+
+// Type implements Statement.
+func (*FlushStmt) Type() sqlt.Type { return sqlt.Flush }
+
+// SQL implements Statement.
+func (s *FlushStmt) SQL() string { return "FLUSH " + s.What }
+
+// CheckpointStmt is CHECKPOINT.
+type CheckpointStmt struct{}
+
+// Type implements Statement.
+func (*CheckpointStmt) Type() sqlt.Type { return sqlt.Checkpoint }
+
+// SQL implements Statement.
+func (*CheckpointStmt) SQL() string { return "CHECKPOINT" }
+
+// DiscardStmt is DISCARD what (ALL, PLANS, TEMP, SEQUENCES).
+type DiscardStmt struct{ What string }
+
+// Type implements Statement.
+func (*DiscardStmt) Type() sqlt.Type { return sqlt.Discard }
+
+// SQL implements Statement.
+func (s *DiscardStmt) SQL() string { return "DISCARD " + s.What }
+
+// PrepareStmt is PREPARE name AS stmt.
+type PrepareStmt struct {
+	Name string
+	Stmt Statement
+}
+
+// Type implements Statement.
+func (*PrepareStmt) Type() sqlt.Type { return sqlt.Prepare }
+
+// SQL implements Statement.
+func (s *PrepareStmt) SQL() string { return "PREPARE " + s.Name + " AS " + s.Stmt.SQL() }
+
+// ExecuteStmt is EXECUTE name [(args)].
+type ExecuteStmt struct {
+	Name string
+	Args []Expr
+}
+
+// Type implements Statement.
+func (*ExecuteStmt) Type() sqlt.Type { return sqlt.Execute }
+
+// SQL implements Statement.
+func (s *ExecuteStmt) SQL() string {
+	if len(s.Args) == 0 {
+		return "EXECUTE " + s.Name
+	}
+	args := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		args[i] = a.SQL()
+	}
+	return "EXECUTE " + s.Name + " (" + strings.Join(args, ", ") + ")"
+}
+
+// DeallocateStmt is DEALLOCATE name.
+type DeallocateStmt struct{ Name string }
+
+// Type implements Statement.
+func (*DeallocateStmt) Type() sqlt.Type { return sqlt.Deallocate }
+
+// SQL implements Statement.
+func (s *DeallocateStmt) SQL() string { return "DEALLOCATE " + s.Name }
+
+// DeclareCursorStmt is DECLARE name CURSOR FOR query.
+type DeclareCursorStmt struct {
+	Name  string
+	Query *SelectStmt
+}
+
+// Type implements Statement.
+func (*DeclareCursorStmt) Type() sqlt.Type { return sqlt.DeclareCursor }
+
+// SQL implements Statement.
+func (s *DeclareCursorStmt) SQL() string {
+	return "DECLARE " + s.Name + " CURSOR FOR " + s.Query.SQL()
+}
+
+// FetchStmt is FETCH [n FROM] cursor.
+type FetchStmt struct {
+	Count  int64 // 0 means fetch one
+	Cursor string
+}
+
+// Type implements Statement.
+func (*FetchStmt) Type() sqlt.Type { return sqlt.Fetch }
+
+// SQL implements Statement.
+func (s *FetchStmt) SQL() string {
+	if s.Count > 0 {
+		return "FETCH " + strconv.FormatInt(s.Count, 10) + " FROM " + s.Cursor
+	}
+	return "FETCH " + s.Cursor
+}
+
+// CloseCursorStmt is CLOSE cursor.
+type CloseCursorStmt struct{ Name string }
+
+// Type implements Statement.
+func (*CloseCursorStmt) Type() sqlt.Type { return sqlt.CloseCursor }
+
+// SQL implements Statement.
+func (s *CloseCursorStmt) SQL() string { return "CLOSE " + s.Name }
+
+// ListenStmt is LISTEN channel.
+type ListenStmt struct{ Channel string }
+
+// Type implements Statement.
+func (*ListenStmt) Type() sqlt.Type { return sqlt.Listen }
+
+// SQL implements Statement.
+func (s *ListenStmt) SQL() string { return "LISTEN " + s.Channel }
+
+// NotifyStmt is NOTIFY channel [, 'payload'].
+type NotifyStmt struct {
+	Channel string
+	Payload string
+}
+
+// Type implements Statement.
+func (*NotifyStmt) Type() sqlt.Type { return sqlt.Notify }
+
+// SQL implements Statement.
+func (s *NotifyStmt) SQL() string {
+	if s.Payload != "" {
+		return "NOTIFY " + s.Channel + ", '" + strings.ReplaceAll(s.Payload, "'", "''") + "'"
+	}
+	return "NOTIFY " + s.Channel
+}
+
+// UnlistenStmt is UNLISTEN channel (or *).
+type UnlistenStmt struct{ Channel string }
+
+// Type implements Statement.
+func (*UnlistenStmt) Type() sqlt.Type { return sqlt.Unlisten }
+
+// SQL implements Statement.
+func (s *UnlistenStmt) SQL() string { return "UNLISTEN " + s.Channel }
+
+// ClusterStmt is CLUSTER table [USING index].
+type ClusterStmt struct {
+	Table string
+	Index string
+}
+
+// Type implements Statement.
+func (*ClusterStmt) Type() sqlt.Type { return sqlt.Cluster }
+
+// SQL implements Statement.
+func (s *ClusterStmt) SQL() string {
+	if s.Index != "" {
+		return "CLUSTER " + s.Table + " USING " + s.Index
+	}
+	return "CLUSTER " + s.Table
+}

@@ -1,0 +1,213 @@
+package sqllex
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks, err := Tokenize("SELECT v1, v2 FROM t1 WHERE v1 = 10;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SELECT", "v1", ",", "v2", "FROM", "t1", "WHERE", "v1", "=", "10", ";"}
+	got := texts(toks)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestKeywordCaseFolding(t *testing.T) {
+	toks, err := Tokenize("select SeLeCt SELECT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks {
+		if tok.Up != "SELECT" {
+			t.Errorf("Up = %q, want SELECT", tok.Up)
+		}
+	}
+	// original spelling is preserved
+	if toks[0].Text != "select" || toks[1].Text != "SeLeCt" {
+		t.Error("original spelling must be preserved in Text")
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	cases := map[string]string{
+		"'hello'":       "hello",
+		"''":            "",
+		"'it''s'":       "it's",
+		"'a''b''c'":     "a'b'c",
+		"'with spaces'": "with spaces",
+	}
+	for src, want := range cases {
+		toks, err := Tokenize(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if len(toks) != 1 || toks[0].Kind != String || toks[0].Text != want {
+			t.Errorf("%q -> %+v, want string %q", src, toks, want)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []string{"0", "42", "3.14", "0.5", ".5", "1e10", "2.5E-3", "22471185.000000"}
+	for _, src := range cases {
+		toks, err := Tokenize(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if len(toks) != 1 || toks[0].Kind != Number {
+			t.Errorf("%q -> %+v, want one number", src, toks)
+		}
+	}
+}
+
+func TestNegativeNumberIsTwoTokens(t *testing.T) {
+	toks, err := Tokenize("-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[0].Text != "-" || toks[1].Kind != Number {
+		t.Fatalf("got %+v", toks)
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	for _, src := range []string{`"table name"`, "`col`"} {
+		toks, err := Tokenize(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if len(toks) != 1 || toks[0].Kind != Ident {
+			t.Errorf("%q -> %+v, want one ident", src, toks)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, err := Tokenize(`
+-- line comment
+SELECT /* block
+comment */ 1; -- trailing
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(toks)
+	want := []string{"SELECT", "1", ";"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestMultiCharOperators(t *testing.T) {
+	toks, err := Tokenize("a <> b <= c >= d != e || f :: g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tok := range toks {
+		if tok.Kind == Op {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"<>", "<=", ">=", "!=", "||", "::"}
+	if strings.Join(ops, " ") != strings.Join(want, " ") {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+}
+
+func TestSessionVariableIdent(t *testing.T) {
+	toks, err := Tokenize("@@SESSION.explicit_for_timestamp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "@@SESSION" || toks[1].Text != "." {
+		t.Fatalf("got %v", texts(toks))
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		"'unterminated",
+		"\"unterminated",
+		"/* unterminated",
+	}
+	for _, src := range bad {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) succeeded, want error", src)
+		} else if _, isLexErr := err.(*Error); !isLexErr {
+			t.Errorf("Tokenize(%q) error is %T, want *Error", src, err)
+		}
+	}
+}
+
+func TestErrorMessage(t *testing.T) {
+	_, err := Tokenize("'oops")
+	if err == nil || !strings.Contains(err.Error(), "unterminated") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("SELECT  a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != 0 || toks[1].Pos != 8 {
+		t.Fatalf("positions = %d, %d", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+// Property: lexing never panics on arbitrary ASCII input, and every token's
+// Pos is within the input.
+func TestLexerRobustness(t *testing.T) {
+	f := func(s string) bool {
+		toks, err := Tokenize(s)
+		if err != nil {
+			return true // errors are fine; panics are not
+		}
+		for _, tok := range toks {
+			if tok.Pos < 0 || tok.Pos > len(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEOFIsStable(t *testing.T) {
+	l := New("x")
+	if tok, _ := l.Next(); tok.Kind != Ident {
+		t.Fatal("want ident")
+	}
+	for i := 0; i < 3; i++ {
+		tok, err := l.Next()
+		if err != nil || tok.Kind != EOF {
+			t.Fatalf("EOF not stable: %+v %v", tok, err)
+		}
+	}
+}

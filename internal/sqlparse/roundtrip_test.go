@@ -1,0 +1,240 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/sqlt"
+)
+
+// roundTripCases maps SQL inputs to the statement type the parser must
+// assign. Every statement type in the taxonomy appears at least once; the
+// print->parse->print round trip must be a fixed point after one iteration.
+var roundTripCases = []struct {
+	sql  string
+	want sqlt.Type
+}{
+	{"CREATE TABLE t1 (v1 INT, v2 INT)", sqlt.CreateTable},
+	{"CREATE TEMPORARY TABLE t1 (a INT PRIMARY KEY, b VARCHAR(100) NOT NULL)", sqlt.CreateTable},
+	{"CREATE TABLE IF NOT EXISTS t2 (a INT UNIQUE, b TEXT DEFAULT 'x', CHECK (a > 0))", sqlt.CreateTable},
+	{"CREATE TABLE t3 (a INT REFERENCES t1(v1), PRIMARY KEY (a), FOREIGN KEY (a) REFERENCES t1(v1))", sqlt.CreateTable},
+	{"CREATE VIEW v0 AS SELECT v1 FROM t1", sqlt.CreateView},
+	{"CREATE OR REPLACE VIEW v0 (c1) AS SELECT v1 FROM t1 WHERE v1 > 3", sqlt.CreateView},
+	{"CREATE MATERIALIZED VIEW mv AS SELECT COUNT(*) FROM t1", sqlt.CreateMaterializedView},
+	{"CREATE INDEX i1 ON t1 (v1, v2)", sqlt.CreateIndex},
+	{"CREATE UNIQUE INDEX i2 ON t1 (v1)", sqlt.CreateIndex},
+	{"CREATE TRIGGER tr1 AFTER UPDATE ON t1 FOR EACH ROW INSERT INTO t1 VALUES (1, 2)", sqlt.CreateTrigger},
+	{"CREATE TRIGGER tr2 BEFORE DELETE ON t1 FOR EACH ROW UPDATE t1 SET v1 = 0", sqlt.CreateTrigger},
+	{"CREATE SEQUENCE s1 START WITH 5 INCREMENT BY 2", sqlt.CreateSequence},
+	{"CREATE SCHEMA sch", sqlt.CreateSchema},
+	{"CREATE FUNCTION f1(x, y) RETURNS INT AS (x + y)", sqlt.CreateFunction},
+	{"CREATE PROCEDURE p1() AS DELETE FROM t1", sqlt.CreateProcedure},
+	{"CREATE RULE r1 AS ON INSERT TO t1 DO INSTEAD NOTIFY compression", sqlt.CreateRule},
+	{"CREATE OR REPLACE RULE r2 AS ON UPDATE TO t1 DO NOTHING", sqlt.CreateRule},
+	{"CREATE DOMAIN d1 AS INT CHECK (VALUE > 0)", sqlt.CreateDomain},
+	{"CREATE TYPE mood AS ENUM ('sad', 'ok', 'happy')", sqlt.CreateType},
+	{"CREATE EXTENSION pgcrypto", sqlt.CreateExtension},
+	{"CREATE ROLE r1 WITH LOGIN", sqlt.CreateRole},
+	{"CREATE USER u1", sqlt.CreateUser},
+	{"CREATE DATABASE db1", sqlt.CreateDatabase},
+
+	{"ALTER TABLE t1 ADD COLUMN c3 INT", sqlt.AlterTable},
+	{"ALTER TABLE t1 DROP COLUMN v2", sqlt.AlterTable},
+	{"ALTER TABLE t1 RENAME COLUMN v1 TO w1", sqlt.AlterTable},
+	{"ALTER TABLE t1 RENAME TO t9", sqlt.AlterTable},
+	{"ALTER TABLE t1 ALTER COLUMN v1 TYPE TEXT", sqlt.AlterTable},
+	{"ALTER TABLE t1 ALTER COLUMN v1 SET DEFAULT 7", sqlt.AlterTable},
+	{"ALTER VIEW v0 RENAME TO v9", sqlt.AlterView},
+	{"ALTER INDEX i1 RENAME TO i9", sqlt.AlterIndex},
+	{"ALTER SEQUENCE s1 RESTART WITH 10", sqlt.AlterSequence},
+	{"ALTER ROLE r1 WITH NOLOGIN", sqlt.AlterRole},
+	{"ALTER DATABASE db1 SET opt", sqlt.AlterDatabase},
+	{"ALTER SYSTEM SET max_connections = 10", sqlt.AlterSystem},
+
+	{"DROP TABLE t1", sqlt.DropTable},
+	{"DROP TABLE IF EXISTS t1 CASCADE", sqlt.DropTable},
+	{"DROP VIEW v0", sqlt.DropView},
+	{"DROP MATERIALIZED VIEW mv", sqlt.DropMaterializedView},
+	{"DROP INDEX i1", sqlt.DropIndex},
+	{"DROP TRIGGER tr1 ON t1", sqlt.DropTrigger},
+	{"DROP SEQUENCE s1", sqlt.DropSequence},
+	{"DROP SCHEMA sch", sqlt.DropSchema},
+	{"DROP FUNCTION f1", sqlt.DropFunction},
+	{"DROP PROCEDURE p1", sqlt.DropProcedure},
+	{"DROP RULE r1 ON t1", sqlt.DropRule},
+	{"DROP DOMAIN d1", sqlt.DropDomain},
+	{"DROP TYPE mood", sqlt.DropType},
+	{"DROP EXTENSION pgcrypto", sqlt.DropExtension},
+	{"DROP ROLE r1", sqlt.DropRole},
+	{"DROP USER u1", sqlt.DropUser},
+	{"DROP DATABASE db1", sqlt.DropDatabase},
+
+	{"RENAME TABLE t1 TO t2", sqlt.RenameTable},
+	{"TRUNCATE TABLE t1", sqlt.Truncate},
+	{"COMMENT ON TABLE t1 IS 'users'", sqlt.CommentOn},
+	{"REINDEX TABLE t1", sqlt.Reindex},
+	{"REFRESH MATERIALIZED VIEW mv", sqlt.RefreshMaterializedView},
+
+	{"INSERT INTO t1 VALUES (1, 'x')", sqlt.Insert},
+	{"INSERT IGNORE INTO t1 (v1) VALUES (1), (2)", sqlt.Insert},
+	{"INSERT INTO t1 SELECT * FROM t2", sqlt.Insert},
+	{"INSERT INTO t1 VALUES (1) ON CONFLICT DO NOTHING", sqlt.Insert},
+	{"INSERT INTO t1 VALUES (1) RETURNING v1", sqlt.Insert},
+	{"REPLACE INTO t1 VALUES (1, 2)", sqlt.Replace},
+	{"UPDATE t1 SET v1 = 1, v2 = v2 + 1 WHERE v1 = 2", sqlt.Update},
+	{"UPDATE t1 SET v1 = 0 ORDER BY v2 LIMIT 3", sqlt.Update},
+	{"DELETE FROM t1 WHERE v1 BETWEEN 1 AND 10", sqlt.Delete},
+	{"DELETE FROM t1 RETURNING v1", sqlt.Delete},
+	{"MERGE INTO t1 USING t2 ON t1.v1 = t2.v1 WHEN MATCHED THEN UPDATE SET v2 = 0 WHEN NOT MATCHED THEN INSERT VALUES (1, 2)", sqlt.Merge},
+	{"MERGE INTO t1 USING t2 ON t1.v1 = t2.v1 WHEN MATCHED THEN DELETE", sqlt.Merge},
+	{"COPY t1 TO STDOUT CSV", sqlt.CopyTo},
+	{"COPY (SELECT 32 EXCEPT SELECT v1 + 16 FROM t1) TO STDOUT CSV", sqlt.CopyTo},
+	{"COPY t1 FROM STDIN", sqlt.CopyFrom},
+	{"LOAD DATA INFILE 'x.csv' INTO TABLE t1", sqlt.LoadData},
+	{"CALL p1(1, 'a')", sqlt.Call},
+	{"DO (1 + 2)", sqlt.Do},
+
+	{"SELECT * FROM t1", sqlt.Select},
+	{"SELECT DISTINCT v1 AS a, t1.v2 FROM t1 WHERE v1 = 1 OR v2 < 3", sqlt.Select},
+	{"SELECT v1, COUNT(*) FROM t1 GROUP BY v1 HAVING COUNT(*) > 1 ORDER BY v1 DESC LIMIT 10 OFFSET 2", sqlt.Select},
+	{"SELECT t1.v1 FROM t1 JOIN t2 ON t1.v1 = t2.v1 LEFT JOIN t3 ON t2.a = t3.a", sqlt.Select},
+	{"SELECT a FROM (SELECT v1 AS a FROM t1) AS sub WHERE a IN (1, 2, 3)", sqlt.Select},
+	{"SELECT v1 FROM t1 WHERE EXISTS (SELECT 1 FROM t2) UNION ALL SELECT v1 FROM t3", sqlt.Select},
+	{"SELECT CASE WHEN v1 > 0 THEN 'p' ELSE 'n' END FROM t1", sqlt.Select},
+	{"SELECT CAST(v1 AS TEXT) FROM t1", sqlt.Select},
+	{"SELECT SUM(v1) OVER (PARTITION BY v2 ORDER BY v1) FROM t1", sqlt.Select},
+	{"SELECT v1 FROM t1 WHERE v1 NOT IN (SELECT v2 FROM t2)", sqlt.Select},
+	{"SELECT v1 FROM t1 WHERE v2 LIKE 'a%' AND v1 IS NOT NULL", sqlt.Select},
+	{"SELECT v1 INTO t9 FROM t1", sqlt.SelectInto},
+	{"TABLE t1", sqlt.TableStmt},
+	{"VALUES (1, 'a'), (2, 'b')", sqlt.ValuesStmt},
+	{"WITH c AS (SELECT v1 FROM t1) SELECT * FROM c", sqlt.WithSelect},
+	{"WITH v2 AS (INSERT INTO t1 VALUES (0)) DELETE FROM t1 WHERE v1 = 48", sqlt.WithDML},
+	{"EXPLAIN SELECT * FROM t1", sqlt.Explain},
+	{"EXPLAIN ANALYZE DELETE FROM t1", sqlt.Explain},
+	{"SHOW TABLES", sqlt.Show},
+	{"DESCRIBE t1", sqlt.Describe},
+
+	{"GRANT SELECT, INSERT ON t1 TO r1", sqlt.Grant},
+	{"REVOKE ALL ON t1 FROM r1", sqlt.Revoke},
+	{"SET ROLE r1", sqlt.SetRole},
+
+	{"BEGIN", sqlt.Begin},
+	{"START TRANSACTION", sqlt.Begin},
+	{"COMMIT", sqlt.Commit},
+	{"ROLLBACK", sqlt.Rollback},
+	{"SAVEPOINT sp1", sqlt.Savepoint},
+	{"RELEASE SAVEPOINT sp1", sqlt.ReleaseSavepoint},
+	{"ROLLBACK TO SAVEPOINT sp1", sqlt.RollbackToSavepoint},
+	{"SET TRANSACTION ISOLATION LEVEL READ COMMITTED", sqlt.SetTransaction},
+	{"LOCK TABLE t1 IN EXCLUSIVE MODE", sqlt.LockTable},
+
+	{"SET SESSION sql_mode = 'strict'", sqlt.SetVar},
+	{"SET GLOBAL max_heap = 100", sqlt.SetVar},
+	{"SET @@SESSION.explicit_for_timestamp = 0", sqlt.SetVar},
+	{"RESET sql_mode", sqlt.ResetVar},
+	{"PRAGMA foreign_keys = 1", sqlt.Pragma},
+	{"PRAGMA cache_info", sqlt.Pragma},
+	{"USE db1", sqlt.Use},
+	{"ANALYZE t1", sqlt.Analyze},
+	{"ANALYZE", sqlt.Analyze},
+	{"VACUUM FULL t1", sqlt.Vacuum},
+	{"VACUUM", sqlt.Vacuum},
+	{"OPTIMIZE TABLE t1", sqlt.OptimizeTable},
+	{"CHECK TABLE t1", sqlt.CheckTable},
+	{"FLUSH TABLES", sqlt.Flush},
+	{"CHECKPOINT", sqlt.Checkpoint},
+	{"DISCARD ALL", sqlt.Discard},
+	{"PREPARE q1 AS SELECT * FROM t1 WHERE v1 = 5", sqlt.Prepare},
+	{"EXECUTE q1", sqlt.Execute},
+	{"EXECUTE q1 (1, 2)", sqlt.Execute},
+	{"DEALLOCATE q1", sqlt.Deallocate},
+	{"DECLARE cur1 CURSOR FOR SELECT * FROM t1", sqlt.DeclareCursor},
+	{"FETCH 5 FROM cur1", sqlt.Fetch},
+	{"FETCH cur1", sqlt.Fetch},
+	{"CLOSE cur1", sqlt.CloseCursor},
+	{"LISTEN chan1", sqlt.Listen},
+	{"NOTIFY chan1, 'payload'", sqlt.Notify},
+	{"NOTIFY compression", sqlt.Notify},
+	{"UNLISTEN chan1", sqlt.Unlisten},
+	{"CLUSTER t1 USING i1", sqlt.Cluster},
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, tc := range roundTripCases {
+		tc := tc
+		t.Run(tc.sql, func(t *testing.T) {
+			s1, err := Parse(tc.sql)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if got := s1.Type(); got != tc.want {
+				t.Fatalf("type = %v, want %v", got, tc.want)
+			}
+			out1 := s1.SQL()
+			s2, err := Parse(out1)
+			if err != nil {
+				t.Fatalf("reparse of %q: %v", out1, err)
+			}
+			out2 := s2.SQL()
+			if out1 != out2 {
+				t.Fatalf("round trip not stable:\n  first:  %q\n  second: %q", out1, out2)
+			}
+			if s2.Type() != tc.want {
+				t.Fatalf("reparsed type = %v, want %v", s2.Type(), tc.want)
+			}
+		})
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	script := `
+-- leading comment
+CREATE TABLE t1 (v1 INT, v2 INT);
+INSERT INTO t1 VALUES (1, 1);
+INSERT INTO t1 VALUES (2, 1);
+SELECT v2 FROM t1 WHERE v1 = 1; /* inline */
+`
+	tc, err := ParseScript(script)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if len(tc) != 4 {
+		t.Fatalf("got %d statements, want 4", len(tc))
+	}
+	want := sqlt.Sequence{sqlt.CreateTable, sqlt.Insert, sqlt.Insert, sqlt.Select}
+	if !tc.Types().Equal(want) {
+		t.Fatalf("types = %v, want %v", tc.Types(), want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROBNICATE t1",
+		"CREATE TABLE",
+		"CREATE TABLE t1",
+		"SELECT FROM WHERE",
+		"INSERT INTO",
+		"INSERT INTO t1 FOO",
+		"DROP",
+		"DROP WIDGET w",
+		"SELECT * FROM t1 WHERE",
+		"CREATE TABLE t1 (a INT' )",
+		"UPDATE t1",
+		"WITH c AS SELECT 1 SELECT 2",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestTypeOf(t *testing.T) {
+	if got := TypeOf("SELECT 1"); got != sqlt.Select {
+		t.Fatalf("TypeOf = %v", got)
+	}
+	if got := TypeOf("not sql at all ("); got != sqlt.Invalid {
+		t.Fatalf("TypeOf bad input = %v, want Invalid", got)
+	}
+}

@@ -1,0 +1,384 @@
+// Package sqlt defines the SQL statement-type taxonomy at the heart of
+// sequence-oriented fuzzing.
+//
+// A statement type is "one certain kind of specific operation on a certain
+// type of object" (paper §II): CREATE TABLE and CREATE VIEW are distinct
+// types. A SQL Type Sequence is the sequence of such types across the
+// statements of a test case; type-affinities are chronological relations
+// between adjacent types. This package enumerates the types, assigns each a
+// category (DDL/DQL/DML/DCL/TCL/session), and defines the per-DBMS dialect
+// profiles that gate which types a target accepts.
+package sqlt
+
+import "fmt"
+
+// Type identifies one SQL statement type. The zero value is Invalid.
+type Type uint16
+
+// Category is the coarse classification of statement types (paper §II).
+type Category uint8
+
+// Statement categories.
+const (
+	CatInvalid Category = iota
+	CatDDL              // data definition: CREATE/ALTER/DROP/...
+	CatDQL              // data query: SELECT and friends
+	CatDML              // data manipulation: INSERT/UPDATE/DELETE/...
+	CatDCL              // data control: GRANT/REVOKE/...
+	CatTCL              // transaction control: BEGIN/COMMIT/...
+	CatSession          // session and utility statements: SET/SHOW/PRAGMA/...
+)
+
+// String returns the conventional name of the category.
+func (c Category) String() string {
+	switch c {
+	case CatDDL:
+		return "DDL"
+	case CatDQL:
+		return "DQL"
+	case CatDML:
+		return "DML"
+	case CatDCL:
+		return "DCL"
+	case CatTCL:
+		return "TCL"
+	case CatSession:
+		return "Session"
+	default:
+		return "Invalid"
+	}
+}
+
+// The full statement-type taxonomy. Real DBMSs define more (PostgreSQL's
+// manual lists 188); this set keeps the breadth that matters for
+// sequence-oriented fuzzing — many distinct object×operation pairs whose
+// execution depends on session and catalog state built by earlier statements.
+const (
+	Invalid Type = iota
+
+	// DDL — create.
+	CreateTable
+	CreateView
+	CreateMaterializedView
+	CreateIndex
+	CreateTrigger
+	CreateSequence
+	CreateSchema
+	CreateFunction
+	CreateProcedure
+	CreateRule
+	CreateDomain
+	CreateType
+	CreateExtension
+	CreateRole
+	CreateUser
+	CreateDatabase
+
+	// DDL — alter.
+	AlterTable
+	AlterView
+	AlterIndex
+	AlterSequence
+	AlterRole
+	AlterDatabase
+	AlterSystem
+
+	// DDL — drop.
+	DropTable
+	DropView
+	DropMaterializedView
+	DropIndex
+	DropTrigger
+	DropSequence
+	DropSchema
+	DropFunction
+	DropProcedure
+	DropRule
+	DropDomain
+	DropType
+	DropExtension
+	DropRole
+	DropUser
+	DropDatabase
+
+	// DDL — other.
+	RenameTable
+	Truncate
+	CommentOn
+	Reindex
+	RefreshMaterializedView
+
+	// DML.
+	Insert
+	Replace
+	Update
+	Delete
+	Merge
+	CopyTo
+	CopyFrom
+	LoadData
+	Call
+	Do
+
+	// DQL.
+	Select
+	SelectInto
+	TableStmt
+	ValuesStmt
+	WithSelect
+	WithDML
+	Explain
+	Show
+	Describe
+
+	// DCL.
+	Grant
+	Revoke
+	SetRole
+
+	// TCL.
+	Begin
+	Commit
+	Rollback
+	Savepoint
+	ReleaseSavepoint
+	RollbackToSavepoint
+	SetTransaction
+	LockTable
+
+	// Session and utility.
+	SetVar
+	ResetVar
+	Pragma
+	Use
+	Analyze
+	Vacuum
+	OptimizeTable
+	CheckTable
+	Flush
+	Checkpoint
+	Discard
+	Prepare
+	Execute
+	Deallocate
+	DeclareCursor
+	Fetch
+	CloseCursor
+	Listen
+	Notify
+	Unlisten
+	Cluster
+
+	numTypes // sentinel; keep last
+)
+
+// NumTypes is the number of valid statement types (excluding Invalid).
+const NumTypes = int(numTypes) - 1
+
+// typeInfo carries the static metadata of one statement type.
+type typeInfo struct {
+	name string
+	cat  Category
+}
+
+var infos = [numTypes]typeInfo{
+	Invalid: {"INVALID", CatInvalid},
+
+	CreateTable:            {"CREATE TABLE", CatDDL},
+	CreateView:             {"CREATE VIEW", CatDDL},
+	CreateMaterializedView: {"CREATE MATERIALIZED VIEW", CatDDL},
+	CreateIndex:            {"CREATE INDEX", CatDDL},
+	CreateTrigger:          {"CREATE TRIGGER", CatDDL},
+	CreateSequence:         {"CREATE SEQUENCE", CatDDL},
+	CreateSchema:           {"CREATE SCHEMA", CatDDL},
+	CreateFunction:         {"CREATE FUNCTION", CatDDL},
+	CreateProcedure:        {"CREATE PROCEDURE", CatDDL},
+	CreateRule:             {"CREATE RULE", CatDDL},
+	CreateDomain:           {"CREATE DOMAIN", CatDDL},
+	CreateType:             {"CREATE TYPE", CatDDL},
+	CreateExtension:        {"CREATE EXTENSION", CatDDL},
+	CreateRole:             {"CREATE ROLE", CatDDL},
+	CreateUser:             {"CREATE USER", CatDDL},
+	CreateDatabase:         {"CREATE DATABASE", CatDDL},
+
+	AlterTable:    {"ALTER TABLE", CatDDL},
+	AlterView:     {"ALTER VIEW", CatDDL},
+	AlterIndex:    {"ALTER INDEX", CatDDL},
+	AlterSequence: {"ALTER SEQUENCE", CatDDL},
+	AlterRole:     {"ALTER ROLE", CatDDL},
+	AlterDatabase: {"ALTER DATABASE", CatDDL},
+	AlterSystem:   {"ALTER SYSTEM", CatDDL},
+
+	DropTable:            {"DROP TABLE", CatDDL},
+	DropView:             {"DROP VIEW", CatDDL},
+	DropMaterializedView: {"DROP MATERIALIZED VIEW", CatDDL},
+	DropIndex:            {"DROP INDEX", CatDDL},
+	DropTrigger:          {"DROP TRIGGER", CatDDL},
+	DropSequence:         {"DROP SEQUENCE", CatDDL},
+	DropSchema:           {"DROP SCHEMA", CatDDL},
+	DropFunction:         {"DROP FUNCTION", CatDDL},
+	DropProcedure:        {"DROP PROCEDURE", CatDDL},
+	DropRule:             {"DROP RULE", CatDDL},
+	DropDomain:           {"DROP DOMAIN", CatDDL},
+	DropType:             {"DROP TYPE", CatDDL},
+	DropExtension:        {"DROP EXTENSION", CatDDL},
+	DropRole:             {"DROP ROLE", CatDDL},
+	DropUser:             {"DROP USER", CatDDL},
+	DropDatabase:         {"DROP DATABASE", CatDDL},
+
+	RenameTable:             {"RENAME TABLE", CatDDL},
+	Truncate:                {"TRUNCATE", CatDDL},
+	CommentOn:               {"COMMENT ON", CatDDL},
+	Reindex:                 {"REINDEX", CatDDL},
+	RefreshMaterializedView: {"REFRESH MATERIALIZED VIEW", CatDDL},
+
+	Insert:   {"INSERT", CatDML},
+	Replace:  {"REPLACE", CatDML},
+	Update:   {"UPDATE", CatDML},
+	Delete:   {"DELETE", CatDML},
+	Merge:    {"MERGE", CatDML},
+	CopyTo:   {"COPY TO", CatDML},
+	CopyFrom: {"COPY FROM", CatDML},
+	LoadData: {"LOAD DATA", CatDML},
+	Call:     {"CALL", CatDML},
+	Do:       {"DO", CatDML},
+
+	Select:     {"SELECT", CatDQL},
+	SelectInto: {"SELECT INTO", CatDQL},
+	TableStmt:  {"TABLE", CatDQL},
+	ValuesStmt: {"VALUES", CatDQL},
+	WithSelect: {"WITH", CatDQL},
+	WithDML:    {"WITH DML", CatDQL},
+	Explain:    {"EXPLAIN", CatDQL},
+	Show:       {"SHOW", CatDQL},
+	Describe:   {"DESCRIBE", CatDQL},
+
+	Grant:   {"GRANT", CatDCL},
+	Revoke:  {"REVOKE", CatDCL},
+	SetRole: {"SET ROLE", CatDCL},
+
+	Begin:               {"BEGIN", CatTCL},
+	Commit:              {"COMMIT", CatTCL},
+	Rollback:            {"ROLLBACK", CatTCL},
+	Savepoint:           {"SAVEPOINT", CatTCL},
+	ReleaseSavepoint:    {"RELEASE SAVEPOINT", CatTCL},
+	RollbackToSavepoint: {"ROLLBACK TO SAVEPOINT", CatTCL},
+	SetTransaction:      {"SET TRANSACTION", CatTCL},
+	LockTable:           {"LOCK TABLE", CatTCL},
+
+	SetVar:        {"SET", CatSession},
+	ResetVar:      {"RESET", CatSession},
+	Pragma:        {"PRAGMA", CatSession},
+	Use:           {"USE", CatSession},
+	Analyze:       {"ANALYZE", CatSession},
+	Vacuum:        {"VACUUM", CatSession},
+	OptimizeTable: {"OPTIMIZE TABLE", CatSession},
+	CheckTable:    {"CHECK TABLE", CatSession},
+	Flush:         {"FLUSH", CatSession},
+	Checkpoint:    {"CHECKPOINT", CatSession},
+	Discard:       {"DISCARD", CatSession},
+	Prepare:       {"PREPARE", CatSession},
+	Execute:       {"EXECUTE", CatSession},
+	Deallocate:    {"DEALLOCATE", CatSession},
+	DeclareCursor: {"DECLARE", CatSession},
+	Fetch:         {"FETCH", CatSession},
+	CloseCursor:   {"CLOSE", CatSession},
+	Listen:        {"LISTEN", CatSession},
+	Notify:        {"NOTIFY", CatSession},
+	Unlisten:      {"UNLISTEN", CatSession},
+	Cluster:       {"CLUSTER", CatSession},
+}
+
+// String returns the canonical upper-case name of the type, e.g.
+// "CREATE TABLE".
+func (t Type) String() string {
+	if t >= numTypes {
+		return fmt.Sprintf("Type(%d)", uint16(t))
+	}
+	return infos[t].name
+}
+
+// Category returns the coarse classification of t.
+func (t Type) Category() Category {
+	if t >= numTypes {
+		return CatInvalid
+	}
+	return infos[t].cat
+}
+
+// Valid reports whether t names a real statement type.
+func (t Type) Valid() bool { return t > Invalid && t < numTypes }
+
+// All returns every valid statement type in declaration order. The returned
+// slice is freshly allocated and safe to mutate.
+func All() []Type {
+	ts := make([]Type, 0, NumTypes)
+	for t := Invalid + 1; t < numTypes; t++ {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// ByName resolves a canonical type name (as produced by Type.String) back to
+// the type. It returns Invalid for unknown names.
+func ByName(name string) Type {
+	return byName[name]
+}
+
+var byName = func() map[string]Type {
+	m := make(map[string]Type, NumTypes)
+	for t := Invalid + 1; t < numTypes; t++ {
+		m[infos[t].name] = t
+	}
+	return m
+}()
+
+// Sequence is a SQL Type Sequence: the statement types of a test case in
+// execution order (paper §II definition).
+type Sequence []Type
+
+// String renders the sequence in the paper's arrow notation, e.g.
+// "CREATE TABLE -> INSERT -> SELECT".
+func (s Sequence) String() string {
+	if len(s) == 0 {
+		return "(empty)"
+	}
+	b := make([]byte, 0, len(s)*12)
+	for i, t := range s {
+		if i > 0 {
+			b = append(b, " -> "...)
+		}
+		b = append(b, t.String()...)
+	}
+	return string(b)
+}
+
+// Equal reports whether two sequences are element-wise identical.
+func (s Sequence) Equal(o Sequence) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of s.
+func (s Sequence) Clone() Sequence {
+	c := make(Sequence, len(s))
+	copy(c, s)
+	return c
+}
+
+// Contains reports whether the adjacent pair (t1, t2) occurs in s.
+func (s Sequence) Contains(t1, t2 Type) bool {
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] == t1 && s[i+1] == t2 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,213 @@
+package sqlt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllTypesHaveNamesAndCategories(t *testing.T) {
+	seen := map[string]Type{}
+	for _, ty := range All() {
+		if !ty.Valid() {
+			t.Errorf("All() returned invalid type %d", ty)
+		}
+		name := ty.String()
+		if name == "" || name == "INVALID" {
+			t.Errorf("type %d has no name", ty)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("duplicate name %q for %d and %d", name, prev, ty)
+		}
+		seen[name] = ty
+		if ty.Category() == CatInvalid {
+			t.Errorf("type %s has no category", name)
+		}
+	}
+	if len(seen) != NumTypes {
+		t.Fatalf("got %d named types, want %d", len(seen), NumTypes)
+	}
+}
+
+func TestByNameRoundTrip(t *testing.T) {
+	for _, ty := range All() {
+		if got := ByName(ty.String()); got != ty {
+			t.Errorf("ByName(%q) = %v, want %v", ty.String(), got, ty)
+		}
+	}
+	if ByName("NO SUCH STATEMENT") != Invalid {
+		t.Error("unknown name should map to Invalid")
+	}
+}
+
+func TestInvalidTypeBehaviour(t *testing.T) {
+	if Invalid.Valid() {
+		t.Error("Invalid must not be valid")
+	}
+	if Type(9999).Category() != CatInvalid {
+		t.Error("out-of-range type must have CatInvalid")
+	}
+	if Type(9999).String() == "" {
+		t.Error("out-of-range type must still render")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	cases := map[Category]string{
+		CatDDL: "DDL", CatDQL: "DQL", CatDML: "DML",
+		CatDCL: "DCL", CatTCL: "TCL", CatSession: "Session",
+		CatInvalid: "Invalid",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%v.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestCategoryMembership(t *testing.T) {
+	cases := map[Type]Category{
+		CreateTable: CatDDL,
+		DropView:    CatDDL,
+		Insert:      CatDML,
+		CopyFrom:    CatDML,
+		Select:      CatDQL,
+		WithDML:     CatDQL,
+		Grant:       CatDCL,
+		Begin:       CatTCL,
+		LockTable:   CatTCL,
+		SetVar:      CatSession,
+		Notify:      CatSession,
+	}
+	for ty, want := range cases {
+		if got := ty.Category(); got != want {
+			t.Errorf("%s category = %v, want %v", ty, got, want)
+		}
+	}
+}
+
+func TestDialectProfiles(t *testing.T) {
+	// paper Table IV type-count ordering: PostgreSQL > MariaDB > MySQL >> Comdb2
+	pg := DialectPostgres.NumStatementTypes()
+	my := DialectMySQL.NumStatementTypes()
+	ma := DialectMariaDB.NumStatementTypes()
+	co := DialectComdb2.NumStatementTypes()
+	if !(pg > ma && ma > my && my > co) {
+		t.Fatalf("type-count ordering broken: pg=%d mariadb=%d mysql=%d comdb2=%d", pg, ma, my, co)
+	}
+	if co != 24 {
+		t.Fatalf("Comdb2 must have exactly 24 types (paper Table IV), got %d", co)
+	}
+}
+
+func TestDialectGatingExamples(t *testing.T) {
+	cases := []struct {
+		d    Dialect
+		ty   Type
+		want bool
+	}{
+		{DialectPostgres, Notify, true},
+		{DialectPostgres, Replace, false},
+		{DialectPostgres, Pragma, false},
+		{DialectMySQL, Replace, true},
+		{DialectMySQL, Notify, false},
+		{DialectMySQL, CopyTo, false},
+		{DialectMariaDB, Do, true},
+		{DialectMariaDB, SelectInto, true},
+		{DialectMySQL, SelectInto, false},
+		{DialectComdb2, Pragma, true},
+		{DialectComdb2, CreateTrigger, false},
+		{DialectComdb2, Select, true},
+	}
+	for _, c := range cases {
+		if got := c.d.Supports(c.ty); got != c.want {
+			t.Errorf("%s.Supports(%s) = %v, want %v", c.d, c.ty, got, c.want)
+		}
+	}
+}
+
+func TestDialectTypesConsistent(t *testing.T) {
+	for _, d := range Dialects() {
+		seen := map[Type]bool{}
+		for _, ty := range d.Types() {
+			if !ty.Valid() {
+				t.Errorf("%s profile contains invalid type", d)
+			}
+			if seen[ty] {
+				t.Errorf("%s profile lists %s twice", d, ty)
+			}
+			seen[ty] = true
+			if !d.Supports(ty) {
+				t.Errorf("%s.Supports(%s) = false but listed in Types()", d, ty)
+			}
+		}
+		if len(seen) != d.NumStatementTypes() {
+			t.Errorf("%s: NumStatementTypes mismatch", d)
+		}
+	}
+}
+
+func TestSequenceString(t *testing.T) {
+	s := Sequence{CreateTable, Insert, Select}
+	want := "CREATE TABLE -> INSERT -> SELECT"
+	if s.String() != want {
+		t.Fatalf("got %q, want %q", s.String(), want)
+	}
+	if (Sequence{}).String() != "(empty)" {
+		t.Fatal("empty sequence rendering")
+	}
+}
+
+func TestSequenceOps(t *testing.T) {
+	s := Sequence{CreateTable, Insert, Insert, Select}
+	if !s.Equal(s.Clone()) {
+		t.Fatal("clone must equal original")
+	}
+	c := s.Clone()
+	c[0] = DropTable
+	if s.Equal(c) {
+		t.Fatal("clone must be independent")
+	}
+	if !s.Contains(Insert, Select) {
+		t.Fatal("expected adjacent pair Insert->Select")
+	}
+	if s.Contains(Select, Insert) {
+		t.Fatal("pair order must matter")
+	}
+	if s.Equal(Sequence{CreateTable}) {
+		t.Fatal("length mismatch must not be equal")
+	}
+}
+
+// Property: cloning never changes equality; Contains(a,b) implies the pair
+// occurs adjacently.
+func TestSequenceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() Sequence {
+		n := rng.Intn(8)
+		s := make(Sequence, n)
+		all := All()
+		for i := range s {
+			s[i] = all[rng.Intn(len(all))]
+		}
+		return s
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: nil}
+	f := func() bool {
+		s := gen()
+		if !s.Equal(s.Clone()) {
+			return false
+		}
+		for i := 0; i+1 < len(s); i++ {
+			if !s.Contains(s[i], s[i+1]) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < cfg.MaxCount; i++ {
+		if !f() {
+			t.Fatal("sequence property violated")
+		}
+	}
+}
