@@ -2,9 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench benchall fmt examples clean
+.PHONY: all build vet test test-short bench benchall fmt examples clean ci
 
 all: build vet test
+
+# Everything CI runs, in CI's order; keep .github/workflows/ci.yml in sync.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

@@ -6,6 +6,8 @@
 //	legofuzz -target mariadb -budget 500000
 //	legofuzz -target postgres -minus           # LEGO- ablation
 //	legofuzz -target comdb2 -len 8 -seed 7 -repros
+//	legofuzz -target mariadb -checkpoint camp.ckpt -checkpoint-every 500
+//	legofuzz -target mariadb -checkpoint camp.ckpt -resume   # continue it
 package main
 
 import (
@@ -34,6 +36,10 @@ func main() {
 	minus := flag.Bool("minus", false, "disable sequence-oriented algorithms (LEGO- ablation)")
 	noHazards := flag.Bool("no-hazards", false, "disarm the seeded bug corpus (coverage only)")
 	repros := flag.Bool("repros", false, "print the reproducer SQL of every bug found")
+	faultRate := flag.Float64("fault-rate", 0, "per-statement organic fault-injection probability (containment demo)")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file: campaign state is saved here periodically")
+	ckptEvery := flag.Int("checkpoint-every", 1000, "executions between checkpoint writes")
+	resume := flag.Bool("resume", false, "resume the campaign from -checkpoint instead of starting fresh")
 	flag.Parse()
 
 	d, ok := targets[strings.ToLower(*target)]
@@ -42,13 +48,31 @@ func main() {
 		os.Exit(2)
 	}
 
-	f := lego.NewFuzzer(lego.Config{
+	cfg := lego.Config{
 		Target:                    d,
 		Seed:                      *seed,
 		MaxSequenceLength:         *maxLen,
 		DisableSequenceAlgorithms: *minus,
 		DisableHazards:            *noHazards,
-	})
+		FaultRate:                 *faultRate,
+	}
+
+	var f *lego.Fuzzer
+	if *resume {
+		if *ckptPath == "" {
+			fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
+			os.Exit(2)
+		}
+		var err error
+		f, err = lego.ResumeFuzzer(cfg, *ckptPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resumed campaign from %s\n", *ckptPath)
+	} else {
+		f = lego.NewFuzzer(cfg)
+	}
 
 	name := "LEGO"
 	if *minus {
@@ -58,7 +82,17 @@ func main() {
 		name, d, lego.StatementTypes(d), *budget, *seed)
 
 	start := time.Now()
-	rep := f.Fuzz(*budget)
+	var rep lego.Report
+	if *ckptPath != "" {
+		var err error
+		rep, err = f.FuzzWithCheckpoint(*budget, *ckptPath, *ckptEvery)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		rep = f.Fuzz(*budget)
+	}
 	dur := time.Since(start)
 
 	fmt.Printf("\nexecutions : %d test cases (%d statements) in %.2fs (%.0f stmts/s)\n",
@@ -66,6 +100,9 @@ func main() {
 	fmt.Printf("branches   : %d\n", rep.Branches)
 	fmt.Printf("affinities : %d\n", rep.Affinities)
 	fmt.Printf("seed pool  : %d\n", rep.SeedPool)
+	if rep.EnginePanics > 0 {
+		fmt.Printf("contained  : %d organic engine panics (campaign survived all of them)\n", rep.EnginePanics)
+	}
 	fmt.Printf("bugs       : %d unique\n", len(rep.Bugs))
 	for i, b := range rep.Bugs {
 		fmt.Printf("  %2d. %-18s %-10s %-5s (exec %d)\n", i+1, b.ID, b.Component, b.Kind, b.FoundAtExec)

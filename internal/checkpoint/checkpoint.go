@@ -1,0 +1,182 @@
+// Package checkpoint serializes the durable state of a fuzzing campaign so
+// long runs survive process death: the seed pool, the affinity map, the
+// accumulated coverage edges, the oracle's deduplicated crashes, execution
+// counters, and the RNG stream position. A campaign restored from a
+// checkpoint continues exactly where the original left off — same schedule,
+// same discoveries — because every input to the fuzzing loop is captured.
+//
+// The package is deliberately passive: it defines the wire format and the
+// file protocol (atomic temp-file+rename writes, checksummed reads) and
+// knows nothing about the fuzzer. Package core converts live campaign state
+// to and from this form.
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Version is the current checkpoint format version. Load rejects files
+// written by a different version rather than guessing at field semantics.
+const Version = 1
+
+// PoolSeed is one retained corpus entry.
+type PoolSeed struct {
+	SQL      string `json:"sql"`
+	NewEdges int    `json:"new_edges"`
+	Picked   int    `json:"picked"`
+}
+
+// Edge is one accumulated coverage-map slot (index + seen-bucket mask).
+type Edge struct {
+	Idx  uint32 `json:"i"`
+	Mask uint8  `json:"m"`
+}
+
+// Crash is one deduplicated oracle entry.
+type Crash struct {
+	ID          string   `json:"id"`
+	Component   string   `json:"component"`
+	Kind        string   `json:"kind"`
+	Stack       []string `json:"stack"`
+	Window      []uint16 `json:"window,omitempty"`
+	Reproducer  string   `json:"reproducer"`
+	FoundAtExec int      `json:"found_at_exec"`
+	Hits        int      `json:"hits"`
+}
+
+// CurvePoint is one sample of the coverage-over-time curve.
+type CurvePoint struct {
+	Execs int `json:"execs"`
+	Edges int `json:"edges"`
+}
+
+// State is the complete serializable campaign state. Statement types and
+// dialects travel as their raw integer codes to keep this package free of
+// fuzzer dependencies.
+type State struct {
+	Version int `json:"version"`
+
+	// Campaign identity: a resume under different options would silently
+	// diverge, so Load-side validation compares these.
+	Dialect uint8 `json:"dialect"`
+	Seed    int64 `json:"seed"`
+	MaxLen  int   `json:"max_len"`
+
+	// Counters.
+	Execs        int `json:"execs"`
+	Stmts        int `json:"stmts"`
+	EnginePanics int `json:"engine_panics"`
+
+	// RNG stream position (xrand.Source state) and the fault injector's
+	// private stream, when fault injection is armed.
+	RNG        uint64 `json:"rng"`
+	FaultState uint64 `json:"fault_state,omitempty"`
+
+	Pool        []PoolSeed          `json:"pool"`
+	Affinity    [][2]uint16         `json:"affinity"`
+	GenAffinity [][2]uint16         `json:"gen_affinity"`
+	Coverage    []Edge              `json:"coverage"`
+	Crashes     []Crash             `json:"crashes"`
+	Curve       []CurvePoint        `json:"curve"`
+	Library     map[uint16][]string `json:"library"`
+
+	// Sequence-synthesis state: the generated-sequence vector (the Prefix
+	// Sequence index is rebuilt from it), start types, rotation counter,
+	// and the affinity pairs discovered but not yet synthesized.
+	SynthSeqs   [][]uint16  `json:"synth_seqs"`
+	SynthStarts []uint16    `json:"synth_starts"`
+	SynthRot    int         `json:"synth_rot"`
+	Pending     [][2]uint16 `json:"pending"`
+}
+
+// envelope wraps the state with an integrity checksum so a torn or
+// corrupted file is detected at load time instead of resuming a campaign
+// from garbage.
+type envelope struct {
+	Checksum string          `json:"checksum"`
+	State    json.RawMessage `json:"state"`
+}
+
+func sum(b []byte) string {
+	h := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(h[:])
+}
+
+// Save writes the state to path atomically: the JSON envelope is written to
+// a temp file in the same directory and renamed over the target, so a crash
+// mid-write leaves either the old checkpoint or the new one, never a
+// truncated hybrid.
+func Save(path string, st *State) error {
+	st.Version = Version
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal: %w", err)
+	}
+	data, err := json.MarshalIndent(envelope{Checksum: sum(payload), State: payload}, "", " ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal envelope: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+// Load reads and verifies a checkpoint. It fails loudly on a checksum
+// mismatch (torn write, manual edit, disk corruption) or a format-version
+// mismatch.
+func Load(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s is not a checkpoint file: %w", path, err)
+	}
+	// The envelope is written indented, which re-indents the embedded state;
+	// compacting first makes the checksum whitespace-insensitive, so it
+	// covers exactly the bytes that Save hashed.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, env.State); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode state: %w", err)
+	}
+	if got := sum(compact.Bytes()); got != env.Checksum {
+		return nil, fmt.Errorf("checkpoint: %s is corrupt: checksum %s, want %s", path, got, env.Checksum)
+	}
+	var st State
+	if err := json.Unmarshal(env.State, &st); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode state: %w", err)
+	}
+	if st.Version != Version {
+		return nil, fmt.Errorf("checkpoint: %s has format version %d, this build reads %d", path, st.Version, Version)
+	}
+	return &st, nil
+}

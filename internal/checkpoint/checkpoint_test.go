@@ -1,0 +1,144 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *State {
+	return &State{
+		Dialect:      2,
+		Seed:         7,
+		MaxLen:       5,
+		Execs:        1234,
+		Stmts:        5678,
+		EnginePanics: 3,
+		RNG:          0xdeadbeefcafef00d,
+		FaultState:   42,
+		Pool: []PoolSeed{
+			{SQL: "CREATE TABLE t (a INT);", NewEdges: 9, Picked: 2},
+			{SQL: "SELECT 1;", NewEdges: 1, Picked: 0},
+		},
+		Affinity:    [][2]uint16{{1, 2}, {2, 3}},
+		GenAffinity: [][2]uint16{{1, 2}},
+		Coverage:    []Edge{{Idx: 10, Mask: 3}, {Idx: 99, Mask: 128}},
+		Crashes: []Crash{{
+			ID: "ORGANIC-0badf00d", Component: "Engine", Kind: "PANIC",
+			Stack: []string{"minidb.(*Engine).dispatch"}, Window: []uint16{1, 4},
+			Reproducer: "SELECT 1;", FoundAtExec: 77, Hits: 4,
+		}},
+		Curve:       []CurvePoint{{Execs: 50, Edges: 120}},
+		Library:     map[uint16][]string{1: {"CREATE TABLE t (a INT);"}},
+		SynthSeqs:   [][]uint16{{1, 4, 6}},
+		SynthStarts: []uint16{1},
+		SynthRot:    5,
+		Pending:     [][2]uint16{{4, 6}},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	want := sample()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round trip changed state:\nsaved  %s\nloaded %s", a, b)
+	}
+	if got.Version != Version {
+		t.Fatalf("version = %d", got.Version)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "camp.ckpt")
+	if err := Save(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	second := sample()
+	second.Execs = 99999
+	if err := Save(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Execs != 99999 {
+		t.Fatalf("overwrite lost: execs = %d", got.Execs)
+	}
+	// no temp files may survive a successful save
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	if err := Save(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	// Flip a digit inside the state payload without breaking JSON syntax.
+	mut := strings.Replace(string(data), `"execs": 1234`, `"execs": 1235`, 1)
+	if mut == string(data) {
+		t.Fatal("mutation did not apply; field layout changed?")
+	}
+	if err := os.WriteFile(path, []byte(mut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("tampered checkpoint must fail the checksum, got %v", err)
+	}
+}
+
+func TestLoadRejectsGarbageAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+
+	garbage := filepath.Join(dir, "garbage")
+	os.WriteFile(garbage, []byte("not json at all"), 0o644)
+	if _, err := Load(garbage); err == nil {
+		t.Fatal("garbage file must not load")
+	}
+
+	path := filepath.Join(dir, "trunc.ckpt")
+	if err := Save(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)/2], 0o644)
+	if _, err := Load(path); err == nil {
+		t.Fatal("truncated file must not load")
+	}
+
+	if _, err := Load(filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Fatal("missing file must not load")
+	}
+}
+
+func TestLoadRejectsVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	st := sample()
+	payload, _ := json.Marshal(st)
+	// hand-craft an envelope with a consistent checksum but a bad version
+	payload = bytes.Replace(payload, []byte(`"version":0`), []byte(`"version":999`), 1)
+	env, _ := json.Marshal(envelope{Checksum: sum(payload), State: payload})
+	os.WriteFile(path, env, 0o644)
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch must fail, got %v", err)
+	}
+}

@@ -24,11 +24,13 @@ import (
 	"github.com/seqfuzz/lego/internal/corpus"
 	"github.com/seqfuzz/lego/internal/harness"
 	"github.com/seqfuzz/lego/internal/instantiate"
+	"github.com/seqfuzz/lego/internal/minidb"
 	"github.com/seqfuzz/lego/internal/mutate"
 	"github.com/seqfuzz/lego/internal/seqsynth"
 	"github.com/seqfuzz/lego/internal/sqlast"
 	"github.com/seqfuzz/lego/internal/sqlparse"
 	"github.com/seqfuzz/lego/internal/sqlt"
+	"github.com/seqfuzz/lego/internal/xrand"
 )
 
 // Options configures a LEGO fuzzer.
@@ -53,6 +55,11 @@ type Options struct {
 	DisableSequenceAlgorithms bool
 	// Hazards arms the seeded bug corpus on the target engine.
 	Hazards bool
+	// FaultRate arms the engine's deterministic fault injector: organic
+	// (non-BugReport) panics are raised at this per-statement probability
+	// and must be contained by the harness instead of killing the
+	// campaign. Zero disables injection.
+	FaultRate float64
 
 	// RandomSequences is an ablation: instead of affinity-gated synthesis
 	// (Algorithm 3), step 2 instantiates uniformly random type sequences of
@@ -76,6 +83,11 @@ func (o *Options) fill() {
 	if o.MaxLen == 0 {
 		o.MaxLen = 5
 	}
+	// Sequences shorter than 2 carry no affinity, and randomSequences draws
+	// from [2, MaxLen]; clamp instead of letting MaxLen=1 panic downstream.
+	if o.MaxLen < 2 {
+		o.MaxLen = 2
+	}
 	if o.InstPerSeq == 0 {
 		o.InstPerSeq = 2
 	}
@@ -90,6 +102,7 @@ func (o *Options) fill() {
 // Fuzzer is the LEGO fuzzing engine.
 type Fuzzer struct {
 	opts   Options
+	src    *xrand.Source // exportable RNG state behind rng
 	rng    *rand.Rand
 	runner *harness.Runner
 	pool   *corpus.Pool
@@ -105,26 +118,40 @@ type Fuzzer struct {
 	pending []affinity.Pair
 }
 
-// New builds a LEGO fuzzer and ingests the initial seed corpus.
-func New(opts Options) *Fuzzer {
+// newFuzzer wires up an empty fuzzer; the caller either ingests the initial
+// seed corpus (New) or restores a checkpoint (Resume).
+func newFuzzer(opts Options) *Fuzzer {
 	opts.fill()
-	rng := rand.New(rand.NewSource(opts.Seed))
+	src := xrand.New(opts.Seed)
+	rng := rand.New(src)
 	lib := instantiate.NewLibrary()
 	inst := instantiate.New(rng, lib, opts.Dialect)
 	aff := affinity.NewMap()
 	f := &Fuzzer{
-		opts:   opts,
-		rng:    rng,
-		runner: harness.NewRunner(opts.Dialect, opts.Hazards),
-		pool:   corpus.NewPool(rng),
-		lib:    lib,
-		inst:   inst,
-		mut:    mutate.New(rng, inst, opts.Dialect),
-		aff:    aff,
-		synth:  seqsynth.New(aff, opts.MaxLen),
+		opts: opts,
+		src:  src,
+		rng:  rng,
+		runner: harness.NewRunnerWithConfig(minidb.Config{
+			Dialect:       opts.Dialect,
+			EnableHazards: opts.Hazards,
+			FaultRate:     opts.FaultRate,
+			FaultSeed:     opts.Seed,
+		}),
+		pool:  corpus.NewPool(rng),
+		lib:   lib,
+		inst:  inst,
+		mut:   mutate.New(rng, inst, opts.Dialect),
+		aff:   aff,
+		synth: seqsynth.New(aff, opts.MaxLen),
 	}
 	f.synth.MaxPerAffinity = opts.MaxSeqPerAffinity
-	for _, tc := range harness.InitialSeeds(opts.Dialect) {
+	return f
+}
+
+// New builds a LEGO fuzzer and ingests the initial seed corpus.
+func New(opts Options) *Fuzzer {
+	f := newFuzzer(opts)
+	for _, tc := range harness.InitialSeeds(f.opts.Dialect) {
 		_, newEdges, _ := f.runner.Execute(tc)
 		f.ingest(tc, newEdges)
 	}

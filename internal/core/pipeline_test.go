@@ -79,10 +79,13 @@ func TestRandomSequenceAblationStillRuns(t *testing.T) {
 }
 
 func TestNoCoverageGateGathersMoreAffinities(t *testing.T) {
+	// The budget must be large enough for the ungated run's extra analysis
+	// to dominate schedule noise: below ~40k statements the comparison
+	// flips depending on the RNG stream, at 60k it holds for every seed.
 	gated := New(Options{Dialect: sqlt.DialectMySQL, Seed: 6})
-	gated.Run(20000)
+	gated.Run(60000)
 	open := New(Options{Dialect: sqlt.DialectMySQL, Seed: 6, NoCoverageGate: true})
-	open.Run(20000)
+	open.Run(60000)
 	if open.Affinities() < gated.Affinities() {
 		t.Fatalf("ungated analysis (%d) must find at least as many affinities as gated (%d)",
 			open.Affinities(), gated.Affinities())

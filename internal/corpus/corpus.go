@@ -42,6 +42,16 @@ func (p *Pool) Add(tc sqlast.TestCase, newEdges int) *Seed {
 // Len returns the pool size.
 func (p *Pool) Len() int { return len(p.seeds) }
 
+// Import replaces the pool's contents with restored seeds, reassigning IDs
+// by position so restored pools schedule identically to the originals.
+func (p *Pool) Import(seeds []*Seed) {
+	p.seeds = make([]*Seed, len(seeds))
+	for i, s := range seeds {
+		s.ID = i
+		p.seeds[i] = s
+	}
+}
+
 // Select schedules one seed; it returns nil when the pool is empty.
 func (p *Pool) Select() *Seed {
 	if len(p.seeds) == 0 {

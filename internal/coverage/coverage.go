@@ -161,6 +161,42 @@ func (m *Map) WouldBeNovel(t *Tracer) bool {
 // "branches covered" metric of Figure 9 and Table IV.
 func (m *Map) EdgeCount() int { return m.edges }
 
+// EdgeState is one accumulated edge (slot index + seen-bucket mask), the
+// serializable unit of campaign coverage state.
+type EdgeState struct {
+	Idx  uint32 `json:"i"`
+	Mask uint8  `json:"m"`
+}
+
+// Export returns the map's non-virgin edges in ascending slot order, for
+// checkpointing.
+func (m *Map) Export() []EdgeState {
+	var out []EdgeState
+	for idx, mask := range m.virgin {
+		if mask != 0 {
+			out = append(out, EdgeState{Idx: uint32(idx), Mask: mask})
+		}
+	}
+	return out
+}
+
+// Import replaces the map's state with previously exported edges.
+func (m *Map) Import(edges []EdgeState) {
+	for i := range m.virgin {
+		m.virgin[i] = 0
+	}
+	m.edges = 0
+	for _, e := range edges {
+		if int(e.Idx) >= len(m.virgin) || e.Mask == 0 {
+			continue
+		}
+		if m.virgin[e.Idx] == 0 {
+			m.edges++
+		}
+		m.virgin[e.Idx] |= e.Mask
+	}
+}
+
 // Clone returns an independent copy of the map.
 func (m *Map) Clone() *Map {
 	c := &Map{virgin: make([]uint8, MapSize), edges: m.edges}

@@ -5,6 +5,8 @@
 package harness
 
 import (
+	"runtime"
+
 	"github.com/seqfuzz/lego/internal/affinity"
 	"github.com/seqfuzz/lego/internal/coverage"
 	"github.com/seqfuzz/lego/internal/minidb"
@@ -35,34 +37,62 @@ type Runner struct {
 	// to statements, not test cases, so statement budgets model the paper's
 	// wall-clock budgets faithfully (a LEN=8 case costs more than a LEN=3
 	// case, the trade-off behind the paper's §VI length study).
-	Stmts      int
-	Curve      []CurvePoint
-	curveEvery int
+	Stmts int
+	// EnginePanics counts contained organic panics: non-BugReport panics
+	// that escaped the engine and were converted into synthetic PANIC
+	// reports instead of killing the campaign.
+	EnginePanics int
+	Curve        []CurvePoint
+	curveEvery   int
+
+	// cfg rebuilds the engine after a contained panic (quarantine) and is
+	// recorded in checkpoints.
+	cfg minidb.Config
 }
 
 // NewRunner builds a runner for one campaign.
 func NewRunner(d sqlt.Dialect, hazards bool) *Runner {
+	return NewRunnerWithConfig(minidb.Config{Dialect: d, EnableHazards: hazards})
+}
+
+// NewRunnerWithConfig builds a runner with full engine configuration
+// (fault injection, custom limits).
+func NewRunnerWithConfig(cfg minidb.Config) *Runner {
 	return &Runner{
-		Eng:        minidb.New(minidb.Config{Dialect: d, EnableHazards: hazards}),
+		Eng:        minidb.New(cfg),
 		Cov:        coverage.NewMap(),
 		Oracle:     oracle.New(),
 		GenAff:     affinity.NewMap(),
 		curveEvery: 50,
+		cfg:        cfg,
 	}
 }
+
+// Config returns the engine configuration the runner was built with.
+func (r *Runner) Config() minidb.Config { return r.cfg }
 
 // Execute runs one test case against a fresh database. It returns whether
 // the execution contributed coverage novelty ("hit new branches",
 // Algorithm 1) and how many brand-new edges it added; a crash is recorded in
 // the oracle and reported in the third return.
+//
+// Execute never lets a panic escape: seeded *BugReport panics are captured
+// by the engine itself, and any other (organic) panic is contained here —
+// converted into a synthetic PANIC report, recorded with its reproducer,
+// and followed by an engine quarantine. This is the in-process equivalent
+// of AFL++'s fork-per-testcase isolation: a target crash must never kill
+// the fuzzer (paper §IV).
 func (r *Runner) Execute(tc sqlast.TestCase) (novel bool, newEdges int, crash *minidb.BugReport) {
+	// Capture the tracer up front: a quarantine mid-case replaces the
+	// engine (and its tracer), but the coverage gathered before the panic
+	// is still valid feedback.
 	tr := r.Eng.Tracer()
 	tr.Reset()
-	out := r.Eng.RunTestCase(tc)
+	out := r.runContained(tc)
 	novel, newEdges = r.Cov.Accumulate(tr)
 	r.GenAff.Analyze(tc.Types())
 	r.Execs++
-	r.Stmts += len(tc)
+	r.Stmts += out.Executed
 	if out.Crash != nil {
 		r.Oracle.Record(out.Crash, tc, r.Execs)
 		crash = out.Crash
@@ -71,6 +101,36 @@ func (r *Runner) Execute(tc sqlast.TestCase) (novel bool, newEdges int, crash *m
 		r.Curve = append(r.Curve, CurvePoint{Execs: r.Execs, Edges: r.Cov.EdgeCount()})
 	}
 	return novel, newEdges, crash
+}
+
+// runContained executes the test case, recovering any panic the engine
+// re-raised and converting it into an organic BugReport outcome.
+func (r *Runner) runContained(tc sqlast.TestCase) (out minidb.Outcome) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		buf := make([]byte, 64<<10)
+		buf = buf[:runtime.Stack(buf, false)]
+		r.EnginePanics++
+		// The outcome assembled by RunTestCase is lost when it panics; the
+		// engine's statement progress recovers how much work was charged.
+		out.Executed = r.Eng.StmtProgress()
+		out.Crash = minidb.OrganicReport(rec, r.Eng.Dialect(), r.Eng.TypeWindow(), buf)
+		r.quarantine()
+	}()
+	return r.Eng.RunTestCase(tc)
+}
+
+// quarantine discards the possibly-corrupt engine after an organic panic
+// and rebuilds a fresh one from the campaign configuration, carrying over
+// the fault injector's stream so contained faults do not restart the fault
+// schedule.
+func (r *Runner) quarantine() {
+	faultState := r.Eng.FaultState()
+	r.Eng = minidb.New(r.cfg)
+	r.Eng.SetFaultState(faultState)
 }
 
 // Branches returns the branch-coverage metric (distinct edges).

@@ -18,6 +18,13 @@ type Limits struct {
 	// UPDATE over many rows with self-updating triggers cannot stall the
 	// fuzzer (challenge C3).
 	MaxTriggerFires int
+	// MaxStepsPerStmt is the deterministic watchdog: every top-level
+	// statement may charge at most this many evaluation steps (expression
+	// evaluations and row visits) before aborting with a SQL error.
+	// Counting steps instead of wall-clock time keeps campaigns
+	// reproducible — the same statement trips the watchdog at the same
+	// point on any machine (extends challenge C3).
+	MaxStepsPerStmt int
 }
 
 // DefaultLimits are tuned for fuzzing throughput.
@@ -28,6 +35,7 @@ func DefaultLimits() Limits {
 		MaxTriggerDepth: 4,
 		MaxRewriteDepth: 8,
 		MaxTriggerFires: 64,
+		MaxStepsPerStmt: 1 << 20,
 	}
 }
 
@@ -38,6 +46,15 @@ type Config struct {
 	// EnableHazards arms the seeded bug corpus (bugs.go). Disarmed engines
 	// are used by tests that exercise pure SQL semantics.
 	EnableHazards bool
+	// FaultRate arms the deterministic fault injector: each top-level
+	// statement panics with a non-BugReport value with this probability
+	// (fault.go). It models *organic* engine defects — the panics the
+	// harness must contain without dying — and exists to prove crash
+	// containment, not to find bugs. Zero disables injection.
+	FaultRate float64
+	// FaultSeed seeds the injector's private RNG (default 1), keeping
+	// fault schedules reproducible per campaign.
+	FaultSeed int64
 }
 
 // session holds connection-scoped state.
@@ -80,6 +97,7 @@ type Engine struct {
 	tracer  *coverage.Tracer
 	limits  Limits
 	hazards []*Bug
+	faults  *faultInjector
 
 	// txnStack holds catalog snapshots: index 0 is the BEGIN snapshot,
 	// later entries are savepoints (name in spNames).
@@ -91,6 +109,7 @@ type Engine struct {
 	triggerDepth int
 	triggerFires int // invocations within the current top-level statement
 	rewriteDepth int
+	stepsUsed    int // watchdog charge within the current top-level statement
 	stmtIndex    int
 	cteFrames    []map[string]*relation
 
@@ -115,6 +134,9 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.EnableHazards {
 		e.hazards = bugsFor(cfg.Dialect)
+	}
+	if cfg.FaultRate > 0 {
+		e.faults = newFaultInjector(cfg.FaultRate, cfg.FaultSeed)
 	}
 	e.reset()
 	return e
@@ -224,7 +246,14 @@ func (e *Engine) ExecStmt(s sqlast.Statement) (*Result, error) {
 	}
 
 	e.triggerFires = 0
+	e.stepsUsed = 0
+	if e.faults != nil {
+		e.faults.beforeDispatch()
+	}
 	res, err := e.dispatch(s)
+	if e.faults != nil {
+		e.faults.afterDispatch()
+	}
 
 	// The type window records *attempted* statements: real DBMS crashes
 	// often fire on error paths too.
@@ -383,6 +412,47 @@ func (e *Engine) dispatch(s sqlast.Statement) (*Result, error) {
 
 	default:
 		return nil, errValue("unimplemented statement %T", s)
+	}
+}
+
+// chargeStep charges one unit of evaluation work against the watchdog
+// budget. Expression evaluation and per-row processing call it on their hot
+// paths; once the per-statement budget is exhausted every further charge
+// returns a SQL error, which unwinds the statement like any other execution
+// error. A MaxStepsPerStmt <= 0 disables the watchdog.
+func (e *Engine) chargeStep() error {
+	if e.limits.MaxStepsPerStmt <= 0 {
+		return nil
+	}
+	e.stepsUsed++
+	if e.stepsUsed > e.limits.MaxStepsPerStmt {
+		e.hit(pWatchdogTrip)
+		return errValue("statement exceeded %d evaluation steps (watchdog)", e.limits.MaxStepsPerStmt)
+	}
+	return nil
+}
+
+// StmtProgress reports how many statements of the current (or last) test
+// case have been entered, including one that panicked mid-execution. The
+// harness uses it to account statements faithfully when containing an
+// organic engine panic.
+func (e *Engine) StmtProgress() int { return e.stmtIndex + 1 }
+
+// FaultState exports the fault injector's RNG state (zero when injection is
+// disabled) so containment rebuilds and checkpoints preserve the fault
+// schedule instead of replaying it from the seed.
+func (e *Engine) FaultState() uint64 {
+	if e.faults == nil {
+		return 0
+	}
+	return e.faults.state
+}
+
+// SetFaultState restores injector state exported by FaultState. It is a
+// no-op when injection is disabled or state is zero.
+func (e *Engine) SetFaultState(s uint64) {
+	if e.faults != nil && s != 0 {
+		e.faults.state = s
 	}
 }
 

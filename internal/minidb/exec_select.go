@@ -116,6 +116,9 @@ func (e *Engine) execSelect(q *sqlast.SelectStmt, outer *scope, depth int) ([][]
 		e.planFilterPath(q, rel)
 		var filtered [][]Value
 		for i := range rel.rows {
+			if err := e.chargeStep(); err != nil {
+				return nil, nil, err
+			}
 			sc := rel.scopeRow(i, outer)
 			v, err := e.eval(q.Where, sc, depth+1)
 			if err != nil {
@@ -321,6 +324,9 @@ func (e *Engine) execProjection(q *sqlast.SelectStmt, rel *relation, outer *scop
 
 	var out [][]Value
 	for i := range rel.rows {
+		if err := e.chargeStep(); err != nil {
+			return nil, nil, err
+		}
 		sc := rel.scopeRow(i, outer)
 		if winVals != nil {
 			sc.winVals = winVals[i]

@@ -40,6 +40,9 @@ func (e *Engine) eval(x sqlast.Expr, sc *scope, depth int) (Value, error) {
 	if depth > maxEvalDepth {
 		return Null(), errValue("expression nesting too deep")
 	}
+	if err := e.chargeStep(); err != nil {
+		return Null(), err
+	}
 	switch v := x.(type) {
 	case *sqlast.Literal:
 		switch v.Kind {

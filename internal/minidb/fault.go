@@ -1,0 +1,55 @@
+package minidb
+
+import "fmt"
+
+// faultInjector deterministically raises non-BugReport panics at statement
+// dispatch, simulating the organic engine defects (nil derefs, slice
+// overruns, logic bombs) a real in-process substrate accumulates over time.
+// AFL++ survives those because the DBMS runs in a forked child; our harness
+// must survive them via crash containment (harness.Runner), and the injector
+// exists so tests can prove that containment under load.
+//
+// The injector owns a private splitmix64 stream so fault schedules are a
+// pure function of (FaultRate, FaultSeed) — independent of the fuzzer's RNG
+// and reproducible across runs.
+type faultInjector struct {
+	rate  float64
+	state uint64
+	n     int // faults raised so far
+}
+
+func newFaultInjector(rate float64, seed int64) *faultInjector {
+	if seed == 0 {
+		seed = 1
+	}
+	return &faultInjector{rate: rate, state: uint64(seed)}
+}
+
+// next draws a uniform float in [0, 1) from the private stream.
+func (f *faultInjector) next() float64 {
+	f.state += 0x9e3779b97f4a7c15
+	z := f.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// beforeDispatch and afterDispatch are two distinct injection sites: the
+// panic's call stack differs between them, so a campaign under fault
+// injection accumulates (at least) two unique organic crash signatures —
+// enough to exercise oracle deduplication of contained panics.
+
+func (f *faultInjector) beforeDispatch() {
+	if f.next() < f.rate {
+		f.n++
+		panic(fmt.Errorf("injected engine fault #%d (pre-dispatch)", f.n))
+	}
+}
+
+func (f *faultInjector) afterDispatch() {
+	if f.next() < f.rate {
+		f.n++
+		panic(fmt.Errorf("injected engine fault #%d (post-dispatch)", f.n))
+	}
+}

@@ -42,6 +42,23 @@ func (o *Oracle) Record(r *minidb.BugReport, tc sqlast.TestCase, execs int) bool
 	return true
 }
 
+// Import replaces the oracle's contents with crashes restored from a
+// checkpoint, preserving discovery order and hit counts. Crashes with a
+// duplicate stack key are folded into the first occurrence.
+func (o *Oracle) Import(crashes []*Crash) {
+	o.seen = map[string]*Crash{}
+	o.order = nil
+	for _, c := range crashes {
+		key := c.Report.StackKey()
+		if prev, ok := o.seen[key]; ok {
+			prev.Hits += c.Hits
+			continue
+		}
+		o.seen[key] = c
+		o.order = append(o.order, key)
+	}
+}
+
 // Count returns the number of unique bugs found.
 func (o *Oracle) Count() int { return len(o.seen) }
 

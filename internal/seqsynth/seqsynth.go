@@ -6,6 +6,8 @@
 package seqsynth
 
 import (
+	"sort"
+
 	"github.com/seqfuzz/lego/internal/affinity"
 	"github.com/seqfuzz/lego/internal/sqlt"
 )
@@ -63,6 +65,48 @@ func (sy *Synthesizer) AddStart(t sqlt.Type) {
 
 // NumSequences returns how many sequences have been generated in total.
 func (sy *Synthesizer) NumSequences() int { return len(sy.s) }
+
+// State is the synthesizer's serializable state. The Prefix Sequence index
+// is derived from Seqs, so only the sequence vector, the start-type set,
+// and the rotation counter need to travel.
+type State struct {
+	Seqs   []sqlt.Sequence
+	Starts []sqlt.Type
+	Rot    int
+}
+
+// Export snapshots the synthesizer for checkpointing. Starts are sorted so
+// identical campaigns produce byte-identical snapshots (the set's order
+// never influences synthesis, only its serialization).
+func (sy *Synthesizer) Export() State {
+	st := State{Rot: sy.rot}
+	for _, s := range sy.s {
+		st.Seqs = append(st.Seqs, s.Clone())
+	}
+	for t := range sy.starts {
+		st.Starts = append(st.Starts, t)
+	}
+	sort.Slice(st.Starts, func(i, j int) bool { return st.Starts[i] < st.Starts[j] })
+	return st
+}
+
+// Import replaces the synthesizer's state with a previously exported
+// snapshot, rebuilding the Prefix Sequence index by replaying the sequence
+// vector in order.
+func (sy *Synthesizer) Import(st State) {
+	sy.s = nil
+	sy.ps = map[psKey][]int{}
+	sy.starts = map[sqlt.Type]bool{}
+	sy.rot = st.Rot
+	for _, t := range st.Starts {
+		sy.starts[t] = true
+	}
+	for _, seq := range st.Seqs {
+		if len(seq) > 0 {
+			sy.record(seq)
+		}
+	}
+}
 
 // record appends a sequence to S and indexes it in PS.
 func (sy *Synthesizer) record(seq sqlt.Sequence) int {

@@ -1,0 +1,85 @@
+package xrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	if New(7).Uint64() == New(8).Uint64() {
+		t.Fatal("different seeds must differ on the first draw")
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	// seed 0 maps to 1, so the stream is never the degenerate all-zero one
+	a, b := New(0), New(1)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("seed 0 must alias seed 1")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	src := New(99)
+	for i := 0; i < 17; i++ {
+		src.Uint64()
+	}
+	st := src.State()
+
+	clone := New(0)
+	clone.SetState(st)
+	for i := 0; i < 100; i++ {
+		if src.Uint64() != clone.Uint64() {
+			t.Fatalf("restored stream diverged at draw %d", i)
+		}
+	}
+}
+
+func TestResumedRandRandIsIdentical(t *testing.T) {
+	// The fuzzer wraps Source in math/rand.Rand; restoring the source state
+	// must reproduce the identical downstream Intn/Float64 schedule.
+	src := New(5)
+	r := rand.New(src)
+	for i := 0; i < 23; i++ {
+		r.Intn(100)
+	}
+	st := src.State()
+	var want []int
+	for i := 0; i < 50; i++ {
+		want = append(want, r.Intn(1000))
+	}
+
+	src2 := New(5)
+	src2.SetState(st)
+	r2 := rand.New(src2)
+	for i, w := range want {
+		if g := r2.Intn(1000); g != w {
+			t.Fatalf("draw %d: got %d want %d", i, g, w)
+		}
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	src := New(3)
+	for i := 0; i < 1000; i++ {
+		if v := src.Int63(); v < 0 {
+			t.Fatalf("Int63 returned negative %d", v)
+		}
+	}
+}
+
+func TestSeedResetsStream(t *testing.T) {
+	src := New(11)
+	first := src.Uint64()
+	src.Uint64()
+	src.Seed(11)
+	if src.Uint64() != first {
+		t.Fatal("Seed must restart the stream")
+	}
+}

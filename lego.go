@@ -25,7 +25,9 @@ package lego
 import (
 	"fmt"
 
+	"github.com/seqfuzz/lego/internal/checkpoint"
 	"github.com/seqfuzz/lego/internal/core"
+	"github.com/seqfuzz/lego/internal/harness"
 	"github.com/seqfuzz/lego/internal/minidb"
 	"github.com/seqfuzz/lego/internal/sqlparse"
 	"github.com/seqfuzz/lego/internal/sqlt"
@@ -60,6 +62,12 @@ type Config struct {
 	// SplitLongSeeds enables the paper's §VI future-work extension: long
 	// retained seeds are additionally split into overlapping short seeds.
 	SplitLongSeeds bool
+	// FaultRate arms the engine's deterministic fault injector: each
+	// statement panics with a non-seeded (organic) fault at this
+	// probability, exercising the harness's crash containment. Contained
+	// panics surface as Report.EnginePanics and as deduplicated PANIC
+	// bugs. Zero disables injection.
+	FaultRate float64
 }
 
 // Bug describes one deduplicated crash.
@@ -89,6 +97,10 @@ type Report struct {
 	Affinities int
 	// SeedPool is the final corpus size.
 	SeedPool int
+	// EnginePanics counts organic engine panics that the harness contained
+	// (converted to synthetic PANIC bugs) instead of dying. Always zero
+	// unless the engine has a genuine defect or Config.FaultRate is set.
+	EnginePanics int
 	// Bugs lists the unique crashes found, in discovery order.
 	Bugs []Bug
 }
@@ -98,32 +110,69 @@ type Fuzzer struct {
 	inner *core.Fuzzer
 }
 
-// NewFuzzer builds a fuzzing session.
-func NewFuzzer(cfg Config) *Fuzzer {
+func (cfg Config) options() core.Options {
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	return &Fuzzer{inner: core.New(core.Options{
+	return core.Options{
 		Dialect:                   cfg.Target,
 		Seed:                      seed,
 		MaxLen:                    cfg.MaxSequenceLength,
 		DisableSequenceAlgorithms: cfg.DisableSequenceAlgorithms,
 		Hazards:                   !cfg.DisableHazards,
 		SplitLongSeeds:            cfg.SplitLongSeeds,
-	})}
+		FaultRate:                 cfg.FaultRate,
+	}
+}
+
+// NewFuzzer builds a fuzzing session.
+func NewFuzzer(cfg Config) *Fuzzer {
+	return &Fuzzer{inner: core.New(cfg.options())}
+}
+
+// ResumeFuzzer rebuilds a fuzzing session from a checkpoint file written by
+// FuzzWithCheckpoint. cfg must describe the same campaign (target, seed,
+// sequence length); the restored session continues exactly where the
+// checkpoint left off, with the same schedule and discoveries as an
+// uninterrupted run.
+func ResumeFuzzer(cfg Config, path string) (*Fuzzer, error) {
+	st, err := checkpoint.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.Resume(cfg.options(), st)
+	if err != nil {
+		return nil, err
+	}
+	return &Fuzzer{inner: inner}, nil
 }
 
 // Fuzz runs until budgetStmts SQL statements have been executed and returns
 // the session report. It may be called repeatedly; state accumulates.
 func (f *Fuzzer) Fuzz(budgetStmts int) Report {
-	runner := f.inner.Run(budgetStmts)
+	return f.report(f.inner.Run(budgetStmts))
+}
+
+// FuzzWithCheckpoint runs like Fuzz but additionally writes the campaign
+// state to path every everyExecs test-case executions (atomically, with a
+// checksum) and once more when the budget is exhausted, so the campaign can
+// be resumed with ResumeFuzzer after a crash or shutdown.
+func (f *Fuzzer) FuzzWithCheckpoint(budgetStmts int, path string, everyExecs int) (Report, error) {
+	runner, err := f.inner.RunWithCheckpoint(budgetStmts, everyExecs, func(st *checkpoint.State) error {
+		return checkpoint.Save(path, st)
+	})
+	return f.report(runner), err
+}
+
+func (f *Fuzzer) report(runner *harness.Runner) Report {
 	rep := Report{
-		Executions: runner.Execs,
-		Statements: runner.Stmts,
-		Branches:   runner.Branches(),
-		Affinities: f.inner.Affinities(),
-		SeedPool:   f.inner.Pool().Len(),
+		Executions:   runner.Execs,
+		Statements:   runner.Stmts,
+		Branches:     runner.Branches(),
+		Affinities:   f.inner.Affinities(),
+		SeedPool:     f.inner.Pool().Len(),
+		EnginePanics: runner.EnginePanics,
 	}
 	for _, c := range runner.Oracle.Crashes() {
 		rep.Bugs = append(rep.Bugs, Bug{

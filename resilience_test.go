@@ -1,0 +1,90 @@
+package lego_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/seqfuzz/lego"
+)
+
+// TestFacadeCheckpointResume drives the public durability API end to end:
+// a checkpointed campaign resumed from disk must report exactly what the
+// uninterrupted campaign reports.
+func TestFacadeCheckpointResume(t *testing.T) {
+	cfg := lego.Config{Target: lego.MariaDB, Seed: 21, FaultRate: 0.001}
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+
+	// First leg, checkpointed.
+	first := lego.NewFuzzer(cfg)
+	repA, err := first.FuzzWithCheckpoint(10000, path, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same fuzzer keeps going.
+	repRef := first.Fuzz(25000)
+
+	// Resume from disk and run the same second leg.
+	resumed, err := lego.ResumeFuzzer(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB := resumed.Fuzz(25000)
+
+	if repA.Statements < 10000 {
+		t.Fatalf("first leg ran only %d statements", repA.Statements)
+	}
+	if repRef.Executions != repB.Executions ||
+		repRef.Statements != repB.Statements ||
+		repRef.Branches != repB.Branches ||
+		repRef.Affinities != repB.Affinities ||
+		repRef.EnginePanics != repB.EnginePanics ||
+		len(repRef.Bugs) != len(repB.Bugs) {
+		t.Fatalf("resumed campaign diverged:\nref:     %+v\nresumed: %+v", repRef, repB)
+	}
+	for i := range repRef.Bugs {
+		if repRef.Bugs[i].ID != repB.Bugs[i].ID ||
+			repRef.Bugs[i].FoundAtExec != repB.Bugs[i].FoundAtExec {
+			t.Fatalf("bug %d differs: %+v vs %+v", i, repRef.Bugs[i], repB.Bugs[i])
+		}
+	}
+}
+
+// TestFacadeFaultCampaignReportsPanics: Config.FaultRate must surface
+// contained panics through Report.EnginePanics and as ORGANIC bugs.
+func TestFacadeFaultCampaignReportsPanics(t *testing.T) {
+	f := lego.NewFuzzer(lego.Config{Target: lego.PostgreSQL, Seed: 2, FaultRate: 0.002})
+	rep := f.Fuzz(20000)
+	if rep.EnginePanics == 0 {
+		t.Fatal("fault campaign must report contained panics")
+	}
+	organic := 0
+	for _, b := range rep.Bugs {
+		if strings.HasPrefix(b.ID, "ORGANIC-") {
+			organic++
+			if b.Kind != "PANIC" || b.Reproducer == "" {
+				t.Fatalf("malformed organic bug: %+v", b)
+			}
+		}
+	}
+	if organic == 0 {
+		t.Fatal("contained panics must surface as ORGANIC bugs")
+	}
+}
+
+// TestFacadeResumeErrors: bad paths and mismatched configs fail loudly.
+func TestFacadeResumeErrors(t *testing.T) {
+	if _, err := lego.ResumeFuzzer(lego.Config{Target: lego.MySQL}, "/nonexistent/file.ckpt"); err == nil {
+		t.Fatal("missing checkpoint must error")
+	}
+
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	f := lego.NewFuzzer(lego.Config{Target: lego.MySQL, Seed: 3})
+	if _, err := f.FuzzWithCheckpoint(2000, path, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lego.ResumeFuzzer(lego.Config{Target: lego.Comdb2, Seed: 3}, path); err == nil {
+		t.Fatal("dialect mismatch must error")
+	}
+}
