@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench benchall fmt examples clean ci
+.PHONY: all build vet test test-short bench benchall fmt examples clean ci smoke
 
 all: build vet test
 
@@ -11,6 +11,12 @@ ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) smoke
+
+# End-to-end triage gate: a short campaign whose every bug must verify
+# STABLE with a minimized reproducer.
+smoke:
+	$(GO) run ./cmd/legofuzz -target comdb2 -budget 20000 -triage -triage-assert
 
 build:
 	$(GO) build ./...

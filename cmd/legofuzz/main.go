@@ -8,13 +8,21 @@
 //	legofuzz -target comdb2 -len 8 -seed 7 -repros
 //	legofuzz -target mariadb -checkpoint camp.ckpt -checkpoint-every 500
 //	legofuzz -target mariadb -checkpoint camp.ckpt -resume   # continue it
+//	legofuzz -target mariadb -triage -repros   # verified, minimized repros
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the campaign stops at the next
+// iteration boundary, flushes a final checkpoint (when -checkpoint is set),
+// triages what was found (when -triage is set), prints the partial report,
+// and exits 0. A second signal kills the process immediately.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/seqfuzz/lego"
@@ -40,6 +48,10 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "checkpoint file: campaign state is saved here periodically")
 	ckptEvery := flag.Int("checkpoint-every", 1000, "executions between checkpoint writes")
 	resume := flag.Bool("resume", false, "resume the campaign from -checkpoint instead of starting fresh")
+	triageOn := flag.Bool("triage", false, "triage crashes at campaign end: re-verify on a fresh engine and minimize reproducers")
+	triageReplays := flag.Int("triage-replays", 3, "verification replays per crash")
+	triageBudget := flag.Int("triage-budget", 256, "max minimization replays per crash")
+	triageAssert := flag.Bool("triage-assert", false, "exit 1 unless every bug is STABLE with MinimizedLen <= OriginalLen (CI smoke)")
 	flag.Parse()
 
 	d, ok := targets[strings.ToLower(*target)]
@@ -55,6 +67,9 @@ func main() {
 		DisableSequenceAlgorithms: *minus,
 		DisableHazards:            *noHazards,
 		FaultRate:                 *faultRate,
+		Triage:                    *triageOn,
+		TriageReplays:             *triageReplays,
+		TriageBudget:              *triageBudget,
 	}
 
 	var f *lego.Fuzzer
@@ -69,10 +84,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}
+		if warn := f.ResumeWarning(); warn != "" {
+			fmt.Fprintf(os.Stderr, "warning: %s\n", warn)
+		}
 		fmt.Printf("resumed campaign from %s\n", *ckptPath)
 	} else {
 		f = lego.NewFuzzer(cfg)
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM closes the stop channel
+	// and the run loop winds down at the next iteration boundary; restoring
+	// default signal handling afterwards lets a second signal kill a stuck
+	// process the usual way.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "\n%v: finishing the current iteration, then stopping (repeat to kill)\n", sig)
+		close(stop)
+		signal.Stop(sigc)
+	}()
 
 	name := "LEGO"
 	if *minus {
@@ -82,18 +114,24 @@ func main() {
 		name, d, lego.StatementTypes(d), *budget, *seed)
 
 	start := time.Now()
-	var rep lego.Report
-	if *ckptPath != "" {
-		var err error
-		rep, err = f.FuzzWithCheckpoint(*budget, *ckptPath, *ckptEvery)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
-			os.Exit(1)
-		}
-	} else {
-		rep = f.Fuzz(*budget)
+	rep, err := f.FuzzWithOptions(*budget, lego.FuzzOptions{
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+		Stop:            stop,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+		os.Exit(1)
 	}
 	dur := time.Since(start)
+
+	if rep.Interrupted {
+		fmt.Printf("\ninterrupted at %d/%d statements — partial results below", rep.Statements, *budget)
+		if *ckptPath != "" {
+			fmt.Printf(" (state flushed to %s; continue with -resume)", *ckptPath)
+		}
+		fmt.Println()
+	}
 
 	fmt.Printf("\nexecutions : %d test cases (%d statements) in %.2fs (%.0f stmts/s)\n",
 		rep.Executions, rep.Statements, dur.Seconds(), float64(rep.Statements)/dur.Seconds())
@@ -105,7 +143,8 @@ func main() {
 	}
 	fmt.Printf("bugs       : %d unique\n", len(rep.Bugs))
 	for i, b := range rep.Bugs {
-		fmt.Printf("  %2d. %-18s %-10s %-5s (exec %d)\n", i+1, b.ID, b.Component, b.Kind, b.FoundAtExec)
+		fmt.Printf("  %2d. %-18s %-10s %-5s (exec %d)%s\n",
+			i+1, b.ID, b.Component, b.Kind, b.FoundAtExec, triageColumns(b, *triageReplays))
 		if *repros {
 			fmt.Println("      --- reproducer ---")
 			for _, line := range strings.Split(strings.TrimSpace(b.Reproducer), "\n") {
@@ -113,4 +152,29 @@ func main() {
 			}
 		}
 	}
+
+	if *triageAssert {
+		if !*triageOn {
+			fmt.Fprintln(os.Stderr, "-triage-assert requires -triage")
+			os.Exit(2)
+		}
+		for _, b := range rep.Bugs {
+			if b.Status != "STABLE" || b.MinimizedLen > b.OriginalLen {
+				fmt.Fprintf(os.Stderr, "triage assertion failed: %s status=%s len %d->%d\n",
+					b.ID, b.Status, b.OriginalLen, b.MinimizedLen)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("triage     : all %d bugs STABLE with minimized reproducers\n", len(rep.Bugs))
+	}
+}
+
+// triageColumns renders the per-bug triage columns, e.g.
+// " STABLE 3/3 12->2 stmts"; empty when the bug was not triaged.
+func triageColumns(b lego.Bug, replays int) string {
+	if b.Status == "" {
+		return ""
+	}
+	return fmt.Sprintf("  %-6s %d/%d  %d->%d stmts",
+		b.Status, b.Replays, replays, b.OriginalLen, b.MinimizedLen)
 }

@@ -23,7 +23,18 @@ import (
 
 // Version is the current checkpoint format version. Load rejects files
 // written by a different version rather than guessing at field semantics.
-const Version = 1
+//
+// History:
+//
+//	v1 — initial format (PR 1).
+//	v2 — crashes carry triage results (status, original/minimized length,
+//	     replay tally) so a resumed campaign keeps its verified, minimized
+//	     reproducers.
+const Version = 2
+
+// BackupSuffix is appended to the checkpoint path for the rotated last-good
+// copy that Save leaves behind and LoadWithFallback falls back to.
+const BackupSuffix = ".bak"
 
 // PoolSeed is one retained corpus entry.
 type PoolSeed struct {
@@ -48,6 +59,12 @@ type Crash struct {
 	Reproducer  string   `json:"reproducer"`
 	FoundAtExec int      `json:"found_at_exec"`
 	Hits        int      `json:"hits"`
+
+	// Triage results (v2): empty/zero when the crash was never triaged.
+	Status       string `json:"status,omitempty"`
+	OriginalLen  int    `json:"original_len,omitempty"`
+	MinimizedLen int    `json:"minimized_len,omitempty"`
+	Replays      int    `json:"replays,omitempty"`
 }
 
 // CurvePoint is one sample of the coverage-over-time curve.
@@ -111,7 +128,9 @@ func sum(b []byte) string {
 // Save writes the state to path atomically: the JSON envelope is written to
 // a temp file in the same directory and renamed over the target, so a crash
 // mid-write leaves either the old checkpoint or the new one, never a
-// truncated hybrid.
+// truncated hybrid. An existing checkpoint is first rotated to
+// path+BackupSuffix, keeping a last-good generation that LoadWithFallback
+// can resume from if the primary is later corrupted on disk.
 func Save(path string, st *State) error {
 	st.Version = Version
 	payload, err := json.Marshal(st)
@@ -141,6 +160,12 @@ func Save(path string, st *State) error {
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	// Rotate the previous generation before the rename lands. Best-effort:
+	// a missing previous checkpoint (first save) is the normal case, and a
+	// failed rotation must not block the fresh save.
+	if _, err := os.Stat(path); err == nil {
+		_ = os.Rename(path, path+BackupSuffix)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
@@ -179,4 +204,27 @@ func Load(path string) (*State, error) {
 		return nil, fmt.Errorf("checkpoint: %s has format version %d, this build reads %d", path, st.Version, Version)
 	}
 	return &st, nil
+}
+
+// LoadWithFallback reads a checkpoint like Load, but when the primary file
+// is unreadable — corrupt, truncated, version-mismatched, or missing — it
+// falls back to the rotated path+BackupSuffix generation instead of aborting
+// the resume. On fallback the returned warning is non-empty and names both
+// the primary's failure and the backup actually used; the caller should
+// surface it, since the campaign restarts from one checkpoint generation
+// earlier. The warning is empty when the primary loaded cleanly.
+func LoadWithFallback(path string) (st *State, warning string, err error) {
+	st, perr := Load(path)
+	if perr == nil {
+		return st, "", nil
+	}
+	bak := path + BackupSuffix
+	st, berr := Load(bak)
+	if berr != nil {
+		// Neither generation is usable; the primary's error is the one that
+		// explains what happened to the campaign.
+		return nil, "", perr
+	}
+	return st, fmt.Sprintf("checkpoint: primary %s unusable (%v); resuming from last-good backup %s (execs=%d)",
+		path, perr, bak, st.Execs), nil
 }

@@ -30,6 +30,7 @@ func sample() *State {
 			ID: "ORGANIC-0badf00d", Component: "Engine", Kind: "PANIC",
 			Stack: []string{"minidb.(*Engine).dispatch"}, Window: []uint16{1, 4},
 			Reproducer: "SELECT 1;", FoundAtExec: 77, Hits: 4,
+			Status: "STABLE", OriginalLen: 9, MinimizedLen: 1, Replays: 3,
 		}},
 		Curve:       []CurvePoint{{Execs: 50, Edges: 120}},
 		Library:     map[uint16][]string{1: {"CREATE TABLE t (a INT);"}},
@@ -130,15 +131,143 @@ func TestLoadRejectsGarbageAndTruncation(t *testing.T) {
 	}
 }
 
+// writeVersion writes a checkpoint whose version field claims v but whose
+// checksum is internally consistent — exactly what an old binary's file looks
+// like to this one.
+func writeVersion(t *testing.T, path string, v string) {
+	t.Helper()
+	payload, _ := json.Marshal(sample())
+	payload = bytes.Replace(payload, []byte(`"version":0`), []byte(`"version":`+v), 1)
+	env, _ := json.Marshal(envelope{Checksum: sum(payload), State: payload})
+	if err := os.WriteFile(path, env, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestLoadRejectsVersionMismatch(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "camp.ckpt")
-	st := sample()
-	payload, _ := json.Marshal(st)
-	// hand-craft an envelope with a consistent checksum but a bad version
-	payload = bytes.Replace(payload, []byte(`"version":0`), []byte(`"version":999`), 1)
-	env, _ := json.Marshal(envelope{Checksum: sum(payload), State: payload})
-	os.WriteFile(path, env, 0o644)
+	writeVersion(t, path, "999")
 	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("version mismatch must fail, got %v", err)
+	}
+}
+
+// TestLoadRejectsV1 pins the v1→v2 break: a checkpoint written by the v1
+// format (no triage fields) must be rejected loudly, not half-understood.
+func TestLoadRejectsV1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.ckpt")
+	writeVersion(t, path, "1")
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "version 1") {
+		t.Fatalf("v1 checkpoint must be rejected, got %v", err)
+	}
+}
+
+// TestV2TriageFieldsRoundTrip pins the new crash fields through a full file
+// round trip, including their omission when empty (untriaged crash).
+func TestV2TriageFieldsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	want := sample()
+	want.Crashes = append(want.Crashes, Crash{
+		ID: "MDEV-0", Component: "Item", Kind: "AF",
+		Stack: []string{"a", "b"}, Reproducer: "SELECT 2;", FoundAtExec: 9, Hits: 1,
+	})
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 2 {
+		t.Fatalf("version = %d, want 2", got.Version)
+	}
+	c := got.Crashes[0]
+	if c.Status != "STABLE" || c.OriginalLen != 9 || c.MinimizedLen != 1 || c.Replays != 3 {
+		t.Fatalf("triage fields lost: %+v", c)
+	}
+	if u := got.Crashes[1]; u.Status != "" || u.OriginalLen != 0 || u.MinimizedLen != 0 || u.Replays != 0 {
+		t.Fatalf("untriaged crash grew fields: %+v", u)
+	}
+}
+
+// TestSaveRotatesBackup: overwriting a checkpoint must leave the previous
+// generation at <path>.bak.
+func TestSaveRotatesBackup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	first := sample()
+	first.Execs = 100
+	if err := Save(path, first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + BackupSuffix); err == nil {
+		t.Fatal("first save must not create a backup")
+	}
+	second := sample()
+	second.Execs = 200
+	if err := Save(path, second); err != nil {
+		t.Fatal(err)
+	}
+	bak, err := Load(path + BackupSuffix)
+	if err != nil {
+		t.Fatalf("rotated backup unreadable: %v", err)
+	}
+	if bak.Execs != 100 {
+		t.Fatalf("backup execs = %d, want the previous generation (100)", bak.Execs)
+	}
+	cur, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Execs != 200 {
+		t.Fatalf("primary execs = %d", cur.Execs)
+	}
+}
+
+// TestLoadWithFallback: a corrupt or truncated primary falls back to the
+// rotated last-good generation with a warning; with no usable backup the
+// primary's error surfaces.
+func TestLoadWithFallback(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "camp.ckpt")
+	first := sample()
+	first.Execs = 100
+	if err := Save(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := sample()
+	second.Execs = 200
+	if err := Save(path, second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean primary: no warning, newest generation.
+	st, warn, err := LoadWithFallback(path)
+	if err != nil || warn != "" || st.Execs != 200 {
+		t.Fatalf("clean load: execs=%v warn=%q err=%v", st.Execs, warn, err)
+	}
+
+	// Truncate the primary: fall back to the .bak with a warning.
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)/3], 0o644)
+	st, warn, err = LoadWithFallback(path)
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if st.Execs != 100 {
+		t.Fatalf("fallback execs = %d, want last-good 100", st.Execs)
+	}
+	if !strings.Contains(warn, BackupSuffix) || !strings.Contains(warn, "last-good") {
+		t.Fatalf("warning must name the backup: %q", warn)
+	}
+
+	// Corrupt both generations: the primary's error wins.
+	os.WriteFile(path+BackupSuffix, []byte("junk"), 0o644)
+	if _, _, err := LoadWithFallback(path); err == nil {
+		t.Fatal("both generations corrupt must error")
+	}
+
+	// Missing everything.
+	if _, _, err := LoadWithFallback(filepath.Join(dir, "nope.ckpt")); err == nil {
+		t.Fatal("missing checkpoint must error")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"github.com/seqfuzz/lego/internal/seqsynth"
 	"github.com/seqfuzz/lego/internal/sqlparse"
 	"github.com/seqfuzz/lego/internal/sqlt"
+	"github.com/seqfuzz/lego/internal/triage"
 )
 
 // This file converts live campaign state to and from checkpoint.State.
@@ -55,6 +56,11 @@ func (f *Fuzzer) Snapshot() *checkpoint.State {
 			Reproducer:  c.Reproducer.SQL(),
 			FoundAtExec: c.FoundAtExec,
 			Hits:        c.Hits,
+
+			Status:       c.Status,
+			OriginalLen:  c.OriginalLen,
+			MinimizedLen: c.MinimizedLen,
+			Replays:      c.Replays,
 		})
 	}
 	for _, p := range f.runner.Curve {
@@ -139,6 +145,11 @@ func Resume(opts Options, st *checkpoint.State) (*Fuzzer, error) {
 			Reproducer:  tc,
 			FoundAtExec: c.FoundAtExec,
 			Hits:        c.Hits,
+
+			Status:       c.Status,
+			OriginalLen:  c.OriginalLen,
+			MinimizedLen: c.MinimizedLen,
+			Replays:      c.Replays,
 		})
 	}
 	f.runner.Oracle.Import(crashes)
@@ -171,28 +182,85 @@ func Resume(opts Options, st *checkpoint.State) (*Fuzzer, error) {
 	return f, nil
 }
 
+// RunOptions configures one RunWithOptions campaign leg.
+type RunOptions struct {
+	// EveryExecs is the checkpoint cadence in test-case executions; Save is
+	// additionally called once when the leg ends. Zero (with a nil Save)
+	// disables checkpointing.
+	EveryExecs int
+	// Save persists a snapshot; a non-nil error aborts the leg.
+	Save func(*checkpoint.State) error
+	// Stop requests a graceful shutdown: once the channel is closed, the
+	// leg finishes the fuzzing iteration in flight, stops at the iteration
+	// boundary, takes its final snapshot, and returns with interrupted =
+	// true. The boundary matters: mid-iteration state (a partially drained
+	// synthesis queue, RNG draws already spent on an unfinished mutation
+	// round) is a state an uninterrupted campaign never pauses in, so
+	// stopping there would make the resumed schedule diverge from the
+	// uninterrupted one. Iteration boundaries are exactly the states an
+	// uninterrupted campaign also passes through. A nil channel never
+	// stops.
+	Stop <-chan struct{}
+}
+
 // RunWithCheckpoint drives the fuzzer like Run, additionally saving a
 // snapshot via save every everyExecs executions (and once at the end).
 // Snapshots are taken only at iteration boundaries, where campaign state is
 // fully consistent.
 func (f *Fuzzer) RunWithCheckpoint(budgetStmts, everyExecs int, save func(*checkpoint.State) error) (*harness.Runner, error) {
+	runner, _, err := f.RunWithOptions(budgetStmts, RunOptions{EveryExecs: everyExecs, Save: save})
+	return runner, err
+}
+
+// RunWithOptions is the full-featured campaign loop behind Run and
+// RunWithCheckpoint: it drives the fuzzer until the statement budget is
+// consumed or opts.Stop is closed, checkpointing on the configured cadence
+// and once at the end. interrupted reports that the leg ended on the stop
+// channel with budget left — the caller can tell a completed campaign from
+// a gracefully shut-down one.
+func (f *Fuzzer) RunWithOptions(budgetStmts int, opts RunOptions) (runner *harness.Runner, interrupted bool, err error) {
+	stopped := func() bool {
+		if opts.Stop == nil {
+			return false
+		}
+		select {
+		case <-opts.Stop:
+			return true
+		default:
+			return false
+		}
+	}
+	// Step receives only the budget predicate: the budget may run out
+	// mid-iteration (that is where the campaign ends, so any state is
+	// final), but the stop channel is polled strictly between iterations —
+	// see RunOptions.Stop for why.
 	exhausted := func() bool { return f.runner.Stmts >= budgetStmts }
 	lastSaved := f.runner.Execs
-	for !exhausted() {
+	for !exhausted() && !stopped() {
 		f.Step(exhausted)
-		if save != nil && everyExecs > 0 && f.runner.Execs-lastSaved >= everyExecs {
-			if err := save(f.Snapshot()); err != nil {
-				return f.runner, err
+		if opts.Save != nil && opts.EveryExecs > 0 && f.runner.Execs-lastSaved >= opts.EveryExecs {
+			if err := opts.Save(f.Snapshot()); err != nil {
+				return f.runner, false, err
 			}
 			lastSaved = f.runner.Execs
 		}
 	}
-	if save != nil {
-		if err := save(f.Snapshot()); err != nil {
-			return f.runner, err
+	interrupted = f.runner.Stmts < budgetStmts && stopped()
+	if opts.Save != nil {
+		if err := opts.Save(f.Snapshot()); err != nil {
+			return f.runner, interrupted, err
 		}
 	}
-	return f.runner, nil
+	return f.runner, interrupted, nil
+}
+
+// Triage runs the crash triage pipeline over the campaign oracle: every
+// unique crash is re-verified and minimized on a fresh quarantined engine
+// built from the campaign's own configuration (see internal/triage). Crash
+// entries are updated in place, so a Snapshot taken afterwards persists the
+// triage results.
+func (f *Fuzzer) Triage(cfg triage.Config) triage.Summary {
+	return triage.New(f.runner.Config(), cfg).Run(f.runner.Oracle)
 }
 
 func exportPairs(m *affinity.Map) [][2]uint16 {

@@ -309,9 +309,6 @@ func (f *Fuzzer) randomSequences(n int) []sqlt.Sequence {
 // Run drives the fuzzer until the statement budget is consumed and returns
 // the campaign's runner for metric collection.
 func (f *Fuzzer) Run(budgetStmts int) *harness.Runner {
-	exhausted := func() bool { return f.runner.Stmts >= budgetStmts }
-	for !exhausted() {
-		f.Step(exhausted)
-	}
-	return f.runner
+	runner, _, _ := f.RunWithOptions(budgetStmts, RunOptions{})
+	return runner
 }

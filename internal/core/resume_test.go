@@ -79,8 +79,8 @@ func TestResumeRejectsMismatchedCampaign(t *testing.T) {
 	st := f.Snapshot()
 
 	cases := []Options{
-		{Dialect: sqlt.DialectMySQL, Seed: 2},    // wrong dialect
-		{Dialect: sqlt.DialectPostgres, Seed: 3}, // wrong seed
+		{Dialect: sqlt.DialectMySQL, Seed: 2},               // wrong dialect
+		{Dialect: sqlt.DialectPostgres, Seed: 3},            // wrong seed
 		{Dialect: sqlt.DialectPostgres, Seed: 2, MaxLen: 8}, // wrong length cap
 	}
 	for i, o := range cases {

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/checkpoint"
+	"github.com/seqfuzz/lego/internal/sqlt"
+	"github.com/seqfuzz/lego/internal/triage"
+)
+
+// TestStopChannelGracefulShutdown drives the run loop's stop channel
+// directly, the way the CLI's signal handler does: the campaign must stop at
+// an iteration boundary with interrupted=true, flush a final checkpoint, and
+// a campaign resumed from that checkpoint must reach the identical final
+// state as one that was never interrupted.
+func TestStopChannelGracefulShutdown(t *testing.T) {
+	opts := Options{Dialect: sqlt.DialectMariaDB, Seed: 13, Hazards: true}
+	const budget = 20000
+
+	// Reference: uninterrupted campaign.
+	ref := New(opts)
+	ref.Run(budget)
+
+	// Interrupted campaign: close the stop channel from the second periodic
+	// save — deterministic, no timing involved — and keep the *last* save,
+	// which is the final flush taken after the loop wound down.
+	stop := make(chan struct{})
+	saves := 0
+	var last *checkpoint.State
+	f := New(opts)
+	runner, interrupted, err := f.RunWithOptions(budget, RunOptions{
+		EveryExecs: 200,
+		Save: func(st *checkpoint.State) error {
+			saves++
+			if saves == 2 {
+				close(stop)
+			}
+			last = st
+			return nil
+		},
+		Stop: stop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interrupted {
+		t.Fatal("closed stop channel must report an interrupted leg")
+	}
+	if runner.Stmts >= budget {
+		t.Fatalf("interrupted leg ran the full budget (%d statements)", runner.Stmts)
+	}
+	if saves < 3 {
+		t.Fatalf("expected 2 periodic saves plus the final flush, got %d", saves)
+	}
+	if last.Stmts != runner.Stmts {
+		t.Fatalf("final flush captured %d statements, runner has %d", last.Stmts, runner.Stmts)
+	}
+
+	// Resume from the flushed checkpoint (through a real file) and finish.
+	path := t.TempDir() + "/interrupted.ckpt"
+	if err := checkpoint.Save(path, last); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(opts, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Run(budget)
+
+	a, _ := json.Marshal(ref.Snapshot())
+	b, _ := json.Marshal(resumed.Snapshot())
+	if string(a) != string(b) {
+		t.Fatalf("interrupted+resumed campaign diverged from uninterrupted:\nref:     %.300s\nresumed: %.300s", a, b)
+	}
+}
+
+// TestStopBeforeStart: a stop channel that is already closed stops the leg
+// before any work, still flushing a (consistent) snapshot.
+func TestStopBeforeStart(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	f := New(Options{Dialect: sqlt.DialectPostgres, Seed: 1})
+	before := f.runner.Stmts
+	saved := false
+	_, interrupted, err := f.RunWithOptions(1<<30, RunOptions{
+		Save: func(*checkpoint.State) error { saved = true; return nil },
+		Stop: stop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interrupted {
+		t.Fatal("pre-closed stop must interrupt")
+	}
+	if f.runner.Stmts != before {
+		t.Fatal("no fuzzing may happen after stop")
+	}
+	if !saved {
+		t.Fatal("the final flush must still run")
+	}
+}
+
+// TestTriageStateRoundTrips: triage results written into the oracle must
+// survive a checkpoint round trip — the bug table of a resumed campaign
+// still shows verified, minimized reproducers (format v2).
+func TestTriageStateRoundTrips(t *testing.T) {
+	opts := Options{Dialect: sqlt.DialectMariaDB, Seed: 3, Hazards: true}
+	f := New(opts)
+	f.Run(25000)
+	if f.runner.Oracle.Count() == 0 {
+		t.Fatal("campaign found no bugs")
+	}
+	sum := f.Triage(triage.Config{Replays: 3})
+	if sum.Stable != sum.Triaged {
+		t.Fatalf("hazard-only campaign must verify STABLE across the board: %+v", sum)
+	}
+
+	path := t.TempDir() + "/triaged.ckpt"
+	if err := checkpoint.Save(path, f.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(opts, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := f.runner.Oracle.Crashes()
+	got := resumed.runner.Oracle.Crashes()
+	if len(got) != len(want) {
+		t.Fatalf("crash count changed: %d -> %d", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Status != w.Status || g.OriginalLen != w.OriginalLen ||
+			g.MinimizedLen != w.MinimizedLen || g.Replays != w.Replays {
+			t.Fatalf("crash %d triage fields lost: want %s %d->%d %d, got %s %d->%d %d",
+				i, w.Status, w.OriginalLen, w.MinimizedLen, w.Replays,
+				g.Status, g.OriginalLen, g.MinimizedLen, g.Replays)
+		}
+		if g.Reproducer.SQL() != w.Reproducer.SQL() {
+			t.Fatalf("crash %d minimized reproducer changed across resume", i)
+		}
+	}
+}

@@ -10,12 +10,23 @@ import (
 	"github.com/seqfuzz/lego/internal/sqlast"
 )
 
-// Crash is one deduplicated bug with its first reproducer.
+// Crash is one deduplicated bug with the shortest known reproducer.
 type Crash struct {
-	Report      *minidb.BugReport
+	Report *minidb.BugReport
+	// Reproducer is the shortest test case known to trip this stack:
+	// Record replaces it whenever the same stack recurs with a shorter
+	// sequence, and triage may replace it with a ddmin-minimized one.
 	Reproducer  sqlast.TestCase
 	FoundAtExec int // execution count when first seen
 	Hits        int // total times the same stack was observed
+
+	// Triage results, filled by internal/triage at campaign end and
+	// persisted in checkpoints (format v2). Zero values mean the crash has
+	// not been triaged.
+	Status       string // triage.Stable / Flaky / Lost, "" before triage
+	OriginalLen  int    // statements in the reproducer before minimization
+	MinimizedLen int    // statements after minimization
+	Replays      int    // verification replays that reproduced the stack
 }
 
 // Oracle deduplicates crashes by stack key.
@@ -30,11 +41,17 @@ func New() *Oracle {
 }
 
 // Record registers a crash. It returns true when the call stack was not seen
-// before (a new unique bug).
+// before (a new unique bug). When the same stack recurs with a strictly
+// shorter test case, the stored reproducer is replaced — the oracle always
+// holds the shortest known reproducer per stack — while FoundAtExec keeps
+// the first sighting and Hits counts every one.
 func (o *Oracle) Record(r *minidb.BugReport, tc sqlast.TestCase, execs int) bool {
 	key := r.StackKey()
 	if c, ok := o.seen[key]; ok {
 		c.Hits++
+		if len(tc) < len(c.Reproducer) {
+			c.Reproducer = tc
+		}
 		return false
 	}
 	o.seen[key] = &Crash{Report: r, Reproducer: tc, FoundAtExec: execs, Hits: 1}
@@ -44,7 +61,9 @@ func (o *Oracle) Record(r *minidb.BugReport, tc sqlast.TestCase, execs int) bool
 
 // Import replaces the oracle's contents with crashes restored from a
 // checkpoint, preserving discovery order and hit counts. Crashes with a
-// duplicate stack key are folded into the first occurrence.
+// duplicate stack key are folded into the first occurrence under the same
+// invariants Record maintains: hits accumulate, the earliest FoundAtExec
+// wins, and the shortest reproducer is kept.
 func (o *Oracle) Import(crashes []*Crash) {
 	o.seen = map[string]*Crash{}
 	o.order = nil
@@ -52,6 +71,12 @@ func (o *Oracle) Import(crashes []*Crash) {
 		key := c.Report.StackKey()
 		if prev, ok := o.seen[key]; ok {
 			prev.Hits += c.Hits
+			if len(c.Reproducer) < len(prev.Reproducer) {
+				prev.Reproducer = c.Reproducer
+			}
+			if c.FoundAtExec < prev.FoundAtExec {
+				prev.FoundAtExec = c.FoundAtExec
+			}
 			continue
 		}
 		o.seen[key] = c

@@ -79,6 +79,56 @@ func TestTallies(t *testing.T) {
 	}
 }
 
+// TestRecordKeepsShortestReproducer: when the same stack recurs, the stored
+// reproducer shrinks to the shortest sequence seen, while FoundAtExec stays
+// first-seen and Hits counts every recurrence.
+func TestRecordKeepsShortestReproducer(t *testing.T) {
+	o := New()
+	long := sqlparse.MustParseScript("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+	short := sqlparse.MustParseScript("SELECT 1;")
+	longer := sqlparse.MustParseScript("SELECT 1; SELECT 2;")
+
+	o.Record(report("B", "C", "AF", "s"), long, 10)
+	o.Record(report("B", "C", "AF", "s"), short, 20)
+	o.Record(report("B", "C", "AF", "s"), longer, 30)
+
+	c := o.Crashes()[0]
+	if len(c.Reproducer) != 1 {
+		t.Fatalf("reproducer has %d statements, want the shortest (1)", len(c.Reproducer))
+	}
+	if c.FoundAtExec != 10 {
+		t.Fatalf("FoundAtExec = %d, first sighting must win", c.FoundAtExec)
+	}
+	if c.Hits != 3 {
+		t.Fatalf("hits = %d", c.Hits)
+	}
+}
+
+// TestImportPreservesShortestInvariant: folding duplicate keys on resume
+// must keep the shortest reproducer, the earliest FoundAtExec, and the
+// summed hit count — the same invariants Record maintains live.
+func TestImportPreservesShortestInvariant(t *testing.T) {
+	o := New()
+	long := sqlparse.MustParseScript("SELECT 1; SELECT 2; SELECT 3;")
+	short := sqlparse.MustParseScript("SELECT 1;")
+
+	o.Import([]*Crash{
+		{Report: report("B", "C", "AF", "s"), Reproducer: long, FoundAtExec: 40, Hits: 2, Status: "STABLE"},
+		{Report: report("B", "C", "AF", "s"), Reproducer: short, FoundAtExec: 15, Hits: 3},
+		{Report: report("D", "C", "AF", "d"), Reproducer: long, FoundAtExec: 50, Hits: 1},
+	})
+	if o.Count() != 2 {
+		t.Fatalf("count = %d", o.Count())
+	}
+	c := o.Crashes()[0]
+	if len(c.Reproducer) != 1 || c.FoundAtExec != 15 || c.Hits != 5 {
+		t.Fatalf("folded crash = len %d, exec %d, hits %d", len(c.Reproducer), c.FoundAtExec, c.Hits)
+	}
+	if c.Status != "STABLE" {
+		t.Fatal("first occurrence's triage fields must survive the fold")
+	}
+}
+
 func TestReproducerPreserved(t *testing.T) {
 	o := New()
 	tc := sqlparse.MustParseScript("CREATE TABLE t (a INT); SELECT * FROM t;")

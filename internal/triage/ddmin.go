@@ -1,0 +1,92 @@
+package triage
+
+import "github.com/seqfuzz/lego/internal/sqlast"
+
+// ddmin minimizes a reproducing statement sequence. The acceptance rule is
+// strict: a candidate replaces the current sequence only when replaying it
+// crashes with the same normalized stack key, so every intermediate (and the
+// final result) is a sequence that has reproduced the bug at least once.
+//
+// Two phases, as in the classic delta-debugging reduction specialised to
+// statement sequences:
+//
+//   - Phase 1 drops single statements greedily, front to back, repeating
+//     until a full pass removes nothing. Hazards fire on type-sequence
+//     suffixes, so the noise is usually leading statements and this phase
+//     alone reaches 1-minimality for independent statements.
+//   - Phase 2 binary-chops: the sequence is split into n chunks and each
+//     chunk's removal is tried; on failure granularity doubles, on success
+//     it relaxes. This removes statement *groups* that individually break a
+//     dependency (e.g. a CREATE/INSERT pair feeding a row-count condition)
+//     and therefore survive phase 1.
+//
+// Every candidate replay is charged against the per-crash Config.Budget;
+// when the budget runs out the best sequence found so far is returned, so
+// triage is bounded even on pathological reproducers.
+func (t *Triager) ddmin(tc sqlast.TestCase, key string) sqlast.TestCase {
+	budget := t.cfg.Budget
+	try := func(cand sqlast.TestCase) bool {
+		if budget <= 0 || len(cand) == 0 {
+			return false
+		}
+		budget--
+		return t.replay(cand, key)
+	}
+
+	cur := tc
+
+	// Phase 1: single-statement elimination to a fixpoint.
+	for again := true; again && budget > 0; {
+		again = false
+		for i := 0; i < len(cur) && len(cur) > 1; {
+			if try(without(cur, i, i+1)) {
+				cur = without(cur, i, i+1)
+				again = true
+			} else {
+				i++
+			}
+		}
+	}
+
+	// Phase 2: chunk removal with binary-chopped granularity.
+	for n := 2; len(cur) >= 2 && n <= len(cur) && budget > 0; {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			if end-start == len(cur) {
+				continue // never propose the empty sequence
+			}
+			if try(without(cur, start, end)) {
+				cur = without(cur, start, end)
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			// Coarsen again: the shorter sequence may now lose bigger chunks.
+			if n > 2 {
+				n--
+			}
+		} else {
+			if chunk == 1 {
+				break // finest granularity exhausted
+			}
+			n *= 2
+		}
+	}
+	return cur
+}
+
+// without returns tc with the half-open statement range [i, j) removed. The
+// result is a fresh slice sharing the (immutable-under-execution) statement
+// nodes.
+func without(tc sqlast.TestCase, i, j int) sqlast.TestCase {
+	out := make(sqlast.TestCase, 0, len(tc)-(j-i))
+	out = append(out, tc[:i]...)
+	out = append(out, tc[j:]...)
+	return out
+}

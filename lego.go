@@ -31,6 +31,7 @@ import (
 	"github.com/seqfuzz/lego/internal/minidb"
 	"github.com/seqfuzz/lego/internal/sqlparse"
 	"github.com/seqfuzz/lego/internal/sqlt"
+	"github.com/seqfuzz/lego/internal/triage"
 )
 
 // Target selects the DBMS dialect profile to fuzz, mirroring the paper's
@@ -68,6 +69,20 @@ type Config struct {
 	// panics surface as Report.EnginePanics and as deduplicated PANIC
 	// bugs. Zero disables injection.
 	FaultRate float64
+	// Triage runs the crash triage pipeline when a Fuzz call ends: every
+	// unique crash is re-verified on a fresh quarantined engine and
+	// classified STABLE/FLAKY/LOST, and its reproducer is minimized with
+	// ddmin (accepting only candidates that crash with the same call
+	// stack). Results land in Bug.Status, Bug.OriginalLen,
+	// Bug.MinimizedLen, and Bug.Replays, and persist in checkpoints.
+	Triage bool
+	// TriageReplays is the number of verification replays per crash
+	// (default 3).
+	TriageReplays int
+	// TriageBudget caps the ddmin candidate replays spent minimizing one
+	// crash (default 256), so triage is bounded even on pathological
+	// reproducers.
+	TriageBudget int
 }
 
 // Bug describes one deduplicated crash.
@@ -78,10 +93,24 @@ type Bug struct {
 	Component string
 	// Kind is the memory-safety class (SEGV, UAF, BOF, ...).
 	Kind string
-	// Reproducer is the SQL script that first triggered the crash.
+	// Reproducer is the shortest known SQL script that triggers the crash:
+	// the first-seen script, shortened whenever the same stack recurs with
+	// fewer statements, and ddmin-minimized when triage is enabled.
 	Reproducer string
 	// FoundAtExec is the execution count at discovery.
 	FoundAtExec int
+
+	// Status is the triage classification: "STABLE" (every verification
+	// replay reproduced the same call stack on a fresh engine), "FLAKY"
+	// (some did), or "LOST" (none did). Empty when triage did not run.
+	Status string
+	// OriginalLen and MinimizedLen are the reproducer's statement counts
+	// before and after minimization (zero when triage did not run).
+	OriginalLen  int
+	MinimizedLen int
+	// Replays is how many of Config.TriageReplays verification replays
+	// reproduced the crash.
+	Replays int
 }
 
 // Report summarizes a fuzzing session.
@@ -101,6 +130,10 @@ type Report struct {
 	// (converted to synthetic PANIC bugs) instead of dying. Always zero
 	// unless the engine has a genuine defect or Config.FaultRate is set.
 	EnginePanics int
+	// Interrupted reports that the run ended on FuzzOptions.Stop with
+	// budget remaining: the report covers a gracefully shut-down partial
+	// campaign, not a completed one.
+	Interrupted bool
 	// Bugs lists the unique crashes found, in discovery order.
 	Bugs []Bug
 }
@@ -108,6 +141,10 @@ type Report struct {
 // Fuzzer is a LEGO fuzzing session against one target.
 type Fuzzer struct {
 	inner *core.Fuzzer
+	cfg   Config
+	// resumeWarning is set when ResumeFuzzer had to fall back to the
+	// rotated .bak checkpoint generation.
+	resumeWarning string
 }
 
 func (cfg Config) options() core.Options {
@@ -128,16 +165,18 @@ func (cfg Config) options() core.Options {
 
 // NewFuzzer builds a fuzzing session.
 func NewFuzzer(cfg Config) *Fuzzer {
-	return &Fuzzer{inner: core.New(cfg.options())}
+	return &Fuzzer{inner: core.New(cfg.options()), cfg: cfg}
 }
 
 // ResumeFuzzer rebuilds a fuzzing session from a checkpoint file written by
 // FuzzWithCheckpoint. cfg must describe the same campaign (target, seed,
 // sequence length); the restored session continues exactly where the
 // checkpoint left off, with the same schedule and discoveries as an
-// uninterrupted run.
+// uninterrupted run. When the primary checkpoint is corrupt or truncated,
+// the rotated last-good <path>.bak generation is used instead and
+// ResumeWarning reports the substitution.
 func ResumeFuzzer(cfg Config, path string) (*Fuzzer, error) {
-	st, err := checkpoint.Load(path)
+	st, warning, err := checkpoint.LoadWithFallback(path)
 	if err != nil {
 		return nil, err
 	}
@@ -145,13 +184,39 @@ func ResumeFuzzer(cfg Config, path string) (*Fuzzer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Fuzzer{inner: inner}, nil
+	return &Fuzzer{inner: inner, cfg: cfg, resumeWarning: warning}, nil
+}
+
+// ResumeWarning is non-empty when ResumeFuzzer could not read the primary
+// checkpoint and restored the rotated .bak generation; it describes what was
+// lost. Callers should surface it to the operator.
+func (f *Fuzzer) ResumeWarning() string { return f.resumeWarning }
+
+// FuzzOptions configures one FuzzWithOptions call.
+type FuzzOptions struct {
+	// CheckpointPath, when non-empty, persists campaign state there
+	// (atomically, checksummed, with a .bak rotation) every
+	// CheckpointEvery test-case executions and once when the run ends —
+	// including a run ended by Stop, so an interrupted campaign loses no
+	// work.
+	CheckpointPath  string
+	CheckpointEvery int
+	// Stop requests graceful shutdown: when the channel is closed the
+	// campaign finishes the fuzzing iteration in flight, stops, flushes
+	// its final checkpoint, still runs triage (when Config.Triage is set),
+	// and returns a partial report with Interrupted set. Because the stop
+	// lands on an iteration boundary — a state an uninterrupted campaign
+	// also passes through — resuming the flushed checkpoint and finishing
+	// the budget reproduces the uninterrupted campaign exactly. A nil
+	// channel never stops.
+	Stop <-chan struct{}
 }
 
 // Fuzz runs until budgetStmts SQL statements have been executed and returns
 // the session report. It may be called repeatedly; state accumulates.
 func (f *Fuzzer) Fuzz(budgetStmts int) Report {
-	return f.report(f.inner.Run(budgetStmts))
+	rep, _ := f.FuzzWithOptions(budgetStmts, FuzzOptions{})
+	return rep
 }
 
 // FuzzWithCheckpoint runs like Fuzz but additionally writes the campaign
@@ -159,10 +224,35 @@ func (f *Fuzzer) Fuzz(budgetStmts int) Report {
 // checksum) and once more when the budget is exhausted, so the campaign can
 // be resumed with ResumeFuzzer after a crash or shutdown.
 func (f *Fuzzer) FuzzWithCheckpoint(budgetStmts int, path string, everyExecs int) (Report, error) {
-	runner, err := f.inner.RunWithCheckpoint(budgetStmts, everyExecs, func(st *checkpoint.State) error {
-		return checkpoint.Save(path, st)
+	return f.FuzzWithOptions(budgetStmts, FuzzOptions{CheckpointPath: path, CheckpointEvery: everyExecs})
+}
+
+// FuzzWithOptions is the full-featured campaign entry point behind Fuzz and
+// FuzzWithCheckpoint: statement budget plus optional checkpointing and
+// graceful shutdown. When Config.Triage is set, the triage pipeline runs
+// after the loop ends (completed or interrupted) and the checkpoint is
+// re-flushed so the triage results persist.
+func (f *Fuzzer) FuzzWithOptions(budgetStmts int, opts FuzzOptions) (Report, error) {
+	var save func(*checkpoint.State) error
+	if opts.CheckpointPath != "" {
+		save = func(st *checkpoint.State) error {
+			return checkpoint.Save(opts.CheckpointPath, st)
+		}
+	}
+	runner, interrupted, err := f.inner.RunWithOptions(budgetStmts, core.RunOptions{
+		EveryExecs: opts.CheckpointEvery,
+		Save:       save,
+		Stop:       opts.Stop,
 	})
-	return f.report(runner), err
+	if err == nil && f.cfg.Triage {
+		f.inner.Triage(triage.Config{Replays: f.cfg.TriageReplays, Budget: f.cfg.TriageBudget})
+		if save != nil {
+			err = save(f.inner.Snapshot())
+		}
+	}
+	rep := f.report(runner)
+	rep.Interrupted = interrupted
+	return rep, err
 }
 
 func (f *Fuzzer) report(runner *harness.Runner) Report {
@@ -181,6 +271,11 @@ func (f *Fuzzer) report(runner *harness.Runner) Report {
 			Kind:        c.Report.Kind,
 			Reproducer:  c.Reproducer.SQL(),
 			FoundAtExec: c.FoundAtExec,
+
+			Status:       c.Status,
+			OriginalLen:  c.OriginalLen,
+			MinimizedLen: c.MinimizedLen,
+			Replays:      c.Replays,
 		})
 	}
 	return rep

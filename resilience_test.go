@@ -1,9 +1,11 @@
 package lego_test
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/seqfuzz/lego"
 )
@@ -70,6 +72,127 @@ func TestFacadeFaultCampaignReportsPanics(t *testing.T) {
 	}
 	if organic == 0 {
 		t.Fatal("contained panics must surface as ORGANIC bugs")
+	}
+}
+
+// TestFacadeTriageMariaDB is the acceptance test for the triage pipeline on
+// the default MariaDB target: every reported bug must be replay-verified
+// STABLE with a minimized reproducer no longer than the original, strictly
+// shorter for at least the long multi-statement discoveries.
+func TestFacadeTriageMariaDB(t *testing.T) {
+	f := lego.NewFuzzer(lego.Config{Target: lego.MariaDB, Triage: true, TriageReplays: 3})
+	rep := f.Fuzz(60000)
+	if len(rep.Bugs) == 0 {
+		t.Fatal("campaign found no bugs")
+	}
+	shrunk := 0
+	for _, b := range rep.Bugs {
+		if b.Status != "STABLE" {
+			t.Fatalf("%s: status %q, want STABLE (hazards are deterministic)", b.ID, b.Status)
+		}
+		if b.Replays != 3 {
+			t.Fatalf("%s: %d/3 replays reproduced", b.ID, b.Replays)
+		}
+		if b.MinimizedLen > b.OriginalLen {
+			t.Fatalf("%s: minimized %d > original %d", b.ID, b.MinimizedLen, b.OriginalLen)
+		}
+		if got := len(strings.Split(strings.TrimSpace(b.Reproducer), "\n")); got != b.MinimizedLen {
+			t.Fatalf("%s: reported reproducer has %d statements, MinimizedLen says %d",
+				b.ID, got, b.MinimizedLen)
+		}
+		if b.MinimizedLen < b.OriginalLen {
+			shrunk++
+		}
+		// Replay the *reported* SQL from scratch: parse and execute it the
+		// way a human reading the bug report would.
+		tc, err := lego.ParseTypeSequence(b.Reproducer)
+		if err != nil || tc == "" {
+			t.Fatalf("%s: reported reproducer does not parse: %v", b.ID, err)
+		}
+	}
+	if shrunk == 0 {
+		t.Fatal("no reproducer got strictly shorter; minimization did nothing")
+	}
+}
+
+// TestFacadeInterruptedResume: a campaign stopped via FuzzOptions.Stop (the
+// CLI's SIGINT path) must flush a resumable checkpoint, report Interrupted,
+// and — resumed from that checkpoint — reach the same final bug set as a
+// campaign that was never interrupted.
+func TestFacadeInterruptedResume(t *testing.T) {
+	cfg := lego.Config{Target: lego.MariaDB, Seed: 17, Triage: true}
+	const budget = 120000
+
+	// Reference: uninterrupted.
+	ref := lego.NewFuzzer(cfg)
+	repRef := ref.Fuzz(budget)
+
+	// Interrupted: stop lands at some nondeterministic point mid-run; the
+	// final-state equivalence must hold wherever it lands (and trivially if
+	// the run finished first).
+	path := filepath.Join(t.TempDir(), "sig.ckpt")
+	stop := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(stop)
+	}()
+	intr := lego.NewFuzzer(cfg)
+	repI, err := intr.FuzzWithOptions(budget, lego.FuzzOptions{
+		CheckpointPath:  path,
+		CheckpointEvery: 500,
+		Stop:            stop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repI.Interrupted && repI.Statements >= budget {
+		t.Fatalf("interrupted report claims a full budget: %d", repI.Statements)
+	}
+
+	resumed, err := lego.ResumeFuzzer(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB := resumed.Fuzz(budget)
+
+	if repRef.Executions != repB.Executions || repRef.Statements != repB.Statements ||
+		repRef.Branches != repB.Branches || len(repRef.Bugs) != len(repB.Bugs) {
+		t.Fatalf("resumed campaign diverged:\nref:     %+v\nresumed: %+v", repRef, repB)
+	}
+	for i := range repRef.Bugs {
+		if repRef.Bugs[i].ID != repB.Bugs[i].ID ||
+			repRef.Bugs[i].FoundAtExec != repB.Bugs[i].FoundAtExec ||
+			repRef.Bugs[i].Status != repB.Bugs[i].Status {
+			t.Fatalf("bug %d differs: %+v vs %+v", i, repRef.Bugs[i], repB.Bugs[i])
+		}
+	}
+}
+
+// TestFacadeResumeFallsBackToBackup: a corrupted primary checkpoint must not
+// kill the resume — the rotated .bak generation is used and the session
+// carries a warning.
+func TestFacadeResumeFallsBackToBackup(t *testing.T) {
+	cfg := lego.Config{Target: lego.MySQL, Seed: 8}
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	f := lego.NewFuzzer(cfg)
+	// Two checkpoint generations: a periodic save plus the final flush.
+	if _, err := f.FuzzWithCheckpoint(6000, path, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("scribbled over by a dying disk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := lego.ResumeFuzzer(cfg, path)
+	if err != nil {
+		t.Fatalf("resume must fall back to the .bak generation: %v", err)
+	}
+	if w := resumed.ResumeWarning(); !strings.Contains(w, ".bak") {
+		t.Fatalf("fallback must carry a warning naming the backup, got %q", w)
+	}
+	// The restored campaign is live: it can keep fuzzing.
+	rep := resumed.Fuzz(8000)
+	if rep.Statements < 8000 {
+		t.Fatalf("resumed campaign ran only %d statements", rep.Statements)
 	}
 }
 
