@@ -2,16 +2,30 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench benchall fmt examples clean ci smoke
+.PHONY: all build vet lint fmtcheck test test-short bench benchall fmt examples clean ci smoke
 
-all: build vet test
+all: build vet lint test
 
 # Everything CI runs, in CI's order; keep .github/workflows/ci.yml in sync.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(MAKE) fmtcheck
+	$(MAKE) lint
 	$(GO) test -race ./...
 	$(MAKE) smoke
+
+# legolint statically enforces the campaign-determinism invariants (map
+# iteration order, global math/rand, wall-clock reads, minidb panic
+# discipline). Suppress one finding with `//lego:allow <analyzer> — <reason>`.
+lint:
+	$(GO) build -o bin/legolint ./cmd/legolint
+	$(GO) vet -vettool=$(abspath bin/legolint) ./...
+
+# gofmt cleanliness over the whole tree, fixtures included.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # End-to-end triage gate: a short campaign whose every bug must verify
 # STABLE with a minimized reproducer.

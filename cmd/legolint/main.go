@@ -1,0 +1,28 @@
+// Command legolint is the vettool that statically enforces the repo's
+// campaign-determinism invariants. Run it through the go command:
+//
+//	go build -o bin/legolint ./cmd/legolint
+//	go vet -vettool=$(pwd)/bin/legolint ./...
+//
+// or simply `make lint`. It ships four analyzers — detrange, globalrand,
+// walltime, and panicdiscipline — each suppressible per finding with
+// `//lego:allow <analyzer> — <reason>`. See internal/analysis and the
+// "Determinism invariants and static enforcement" section of DESIGN.md.
+package main
+
+import (
+	"github.com/seqfuzz/lego/internal/analysis/detrange"
+	"github.com/seqfuzz/lego/internal/analysis/globalrand"
+	"github.com/seqfuzz/lego/internal/analysis/panicdiscipline"
+	"github.com/seqfuzz/lego/internal/analysis/unitchecker"
+	"github.com/seqfuzz/lego/internal/analysis/walltime"
+)
+
+func main() {
+	unitchecker.Main(
+		detrange.Analyzer,
+		globalrand.Analyzer,
+		walltime.Analyzer,
+		panicdiscipline.Analyzer,
+	)
+}

@@ -59,34 +59,37 @@ func (m *Map) Has(t1, t2 sqlt.Type) bool { return m.m[t1][t2] }
 // Count returns the number of distinct affinities (the Table II metric).
 func (m *Map) Count() int { return m.count }
 
+// sortedKeys returns the map's keys in canonical (ascending) order, so
+// every iteration over an affinity set walks it identically in every run —
+// the invariant legolint's detrange analyzer enforces.
+func sortedKeys[V any](m map[sqlt.Type]V) []sqlt.Type {
+	out := make([]sqlt.Type, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Successors returns the recorded follow-set of t in sorted order.
 func (m *Map) Successors(t sqlt.Type) []sqlt.Type {
 	set := m.m[t]
 	if len(set) == 0 {
 		return nil
 	}
-	out := make([]sqlt.Type, 0, len(set))
-	for s := range set {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return sortedKeys(set)
 }
 
-// Pairs returns every recorded affinity in sorted order.
+// Pairs returns every recorded affinity in sorted order. The order is
+// canonical by construction: both key walks iterate sorted keys, so no
+// final sort is needed.
 func (m *Map) Pairs() []Pair {
 	var out []Pair
-	for t1, set := range m.m {
-		for t2 := range set {
+	for _, t1 := range sortedKeys(m.m) {
+		for _, t2 := range sortedKeys(m.m[t1]) {
 			out = append(out, Pair{From: t1, To: t2})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
-		}
-		return out[i].To < out[j].To
-	})
 	return out
 }
 

@@ -1,0 +1,83 @@
+package affinity
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/sqlt"
+)
+
+// TestPairsCanonicalOrder asserts that Pairs and Successors return the same
+// slices no matter in which order the affinities were inserted — the output
+// order must be a function of the set, not of map iteration or insertion
+// history. This is the determinism invariant the legolint detrange analyzer
+// guards statically.
+func TestPairsCanonicalOrder(t *testing.T) {
+	types := []sqlt.Type{
+		sqlt.CreateTable, sqlt.Insert, sqlt.Select, sqlt.Update,
+		sqlt.Delete, sqlt.CreateIndex, sqlt.Analyze, sqlt.DropTable,
+	}
+	var pairs []Pair
+	for _, a := range types {
+		for _, b := range types {
+			if a != b {
+				pairs = append(pairs, Pair{From: a, To: b})
+			}
+		}
+	}
+
+	build := func(order []Pair) *Map {
+		m := NewMap()
+		for _, p := range order {
+			m.Add(p.From, p.To)
+		}
+		return m
+	}
+
+	base := build(pairs)
+	want := base.Pairs()
+	if len(want) != len(pairs) {
+		t.Fatalf("Pairs() = %d entries, want %d", len(want), len(pairs))
+	}
+	if !sort.SliceIsSorted(want, func(i, j int) bool {
+		if want[i].From != want[j].From {
+			return want[i].From < want[j].From
+		}
+		return want[i].To < want[j].To
+	}) {
+		t.Fatalf("Pairs() not sorted: %v", want)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]Pair(nil), pairs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		m := build(shuffled)
+		if got := m.Pairs(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Pairs() differs under insertion order %v", trial, shuffled[:4])
+		}
+		for _, ty := range types {
+			if got, wantS := m.Successors(ty), base.Successors(ty); !reflect.DeepEqual(got, wantS) {
+				t.Fatalf("trial %d: Successors(%s) = %v, want %v", trial, ty, got, wantS)
+			}
+		}
+	}
+}
+
+// TestSuccessorsCanonical asserts the follow-set comes back ascending and
+// that the empty set stays nil.
+func TestSuccessorsCanonical(t *testing.T) {
+	m := NewMap()
+	m.Add(sqlt.Select, sqlt.Update)
+	m.Add(sqlt.Select, sqlt.Insert)
+	m.Add(sqlt.Select, sqlt.Delete)
+	succ := m.Successors(sqlt.Select)
+	if !sort.SliceIsSorted(succ, func(i, j int) bool { return succ[i] < succ[j] }) {
+		t.Fatalf("Successors not sorted: %v", succ)
+	}
+	if got := m.Successors(sqlt.DropView); got != nil {
+		t.Fatalf("Successors of absent type = %v, want nil", got)
+	}
+}

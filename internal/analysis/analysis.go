@@ -1,0 +1,247 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary, built for the legolint vettool.
+//
+// The repo's load-bearing invariant — two campaigns with the same seed
+// produce byte-identical reports and checkpoints — is enforced at runtime by
+// the resume/interrupt equivalence tests, but nothing stops a refactor from
+// reintroducing the three Go footguns that silently break it: unsorted map
+// iteration with order-dependent effects, global math/rand state, and
+// wall-clock reads. The analyzers under internal/analysis/... make those
+// footguns a build failure.
+//
+// This package mirrors the x/tools shapes (Analyzer, Pass, Diagnostic) so
+// the analyzers could be ported to the real framework verbatim, but it is
+// implemented purely on the standard library's go/ast, go/types and
+// go/importer: the build must work offline, and x/tools is not vendored.
+//
+// # Suppression
+//
+// Every analyzer honors the directive
+//
+//	//lego:allow <analyzer> — <reason>
+//
+// placed on the flagged line or the line directly above it. The analyzer
+// name must match exactly and the reason must be non-empty; a bare
+// //lego:allow with no reason does not suppress anything. An ASCII hyphen
+// may be used in place of the em dash.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lego:allow
+	// directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by legolint's usage.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned inside the analyzed package.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// deterministicPkgs are the packages whose behavior must be a pure function
+// of the campaign seed: everything that feeds the fuzzing schedule, the
+// oracle's bookkeeping, or the checkpoint byte stream. The detrange and
+// walltime analyzers apply only here; CLI, reporting, and benchmark
+// packages may read the clock and iterate maps freely.
+var deterministicPkgs = map[string]bool{
+	"core":        true,
+	"mutate":      true,
+	"corpus":      true,
+	"affinity":    true,
+	"seqsynth":    true,
+	"instantiate": true,
+	"oracle":      true,
+	"triage":      true,
+	"checkpoint":  true,
+	"minidb":      true,
+}
+
+// PkgBase returns the last element of an import path, with the synthetic
+// test-variant suffixes produced by go vet ("p [p.test]", "p_test")
+// stripped, so gating works identically in unitchecker mode, analysistest
+// fixtures, and test variants.
+func PkgBase(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i] // "pkg [pkg.test]" → "pkg"
+	}
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	path = strings.TrimSuffix(path, ".test")
+	path = strings.TrimSuffix(path, "_test")
+	return path
+}
+
+// Deterministic reports whether the import path names one of the
+// determinism-critical packages.
+func Deterministic(path string) bool {
+	return deterministicPkgs[PkgBase(path)]
+}
+
+// Run applies every analyzer to the package and returns the surviving
+// diagnostics, sorted by position: findings in _test.go files are dropped
+// (tests may time, shuffle, and iterate freely — they do not feed the
+// campaign byte stream), and findings answered by a well-formed
+// //lego:allow directive are suppressed.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+
+	sup := collectSuppressions(fset, files)
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		if sup.allows(d.Analyzer, pos.Filename, pos.Line) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+	sortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+// suppressionKey locates one //lego:allow directive.
+type suppressionKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+type suppressionSet map[suppressionKey]bool
+
+// allows reports whether a directive for the analyzer sits on the given
+// line or the line directly above it.
+func (s suppressionSet) allows(analyzer, file string, line int) bool {
+	return s[suppressionKey{analyzer, file, line}] ||
+		s[suppressionKey{analyzer, file, line - 1}]
+}
+
+// collectSuppressions indexes every well-formed //lego:allow directive in
+// the files by (analyzer, file, line).
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressionSet {
+	set := suppressionSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				set[suppressionKey{name, pos.Filename, pos.Line}] = true
+			}
+		}
+	}
+	return set
+}
+
+// parseAllow parses "//lego:allow <analyzer> — <reason>", returning the
+// analyzer name. Directives without a reason are rejected: the reason is the
+// audit trail the suppression exists to preserve.
+func parseAllow(comment string) (analyzer string, ok bool) {
+	text, ok := strings.CutPrefix(comment, "//lego:allow")
+	if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+		return "", false
+	}
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		return "", false
+	}
+	reason := fields[1:]
+	for len(reason) > 0 && (reason[0] == "—" || reason[0] == "-" || reason[0] == "--") {
+		reason = reason[1:]
+	}
+	if len(reason) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}
+
+// HasDirective reports whether the comment group contains the given
+// //lego:<name> directive on a line of its own (e.g. //lego:injector on an
+// approved fault-injection helper).
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//lego:" + name
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	for i := 1; i < len(diags); i++ {
+		for j := i; j > 0 && less(fset, diags[j], diags[j-1]); j-- {
+			diags[j], diags[j-1] = diags[j-1], diags[j]
+		}
+	}
+}
+
+func less(fset *token.FileSet, a, b Diagnostic) bool {
+	pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	if pa.Column != pb.Column {
+		return pa.Column < pb.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestPkgBase(t *testing.T) {
+	cases := map[string]string{
+		"github.com/seqfuzz/lego/internal/corpus": "corpus",
+		"corpus":                       "corpus",
+		"corpus.test":                  "corpus",
+		"corpus_test":                  "corpus",
+		"github.com/x/minidb [m.test]": "minidb",
+		"cmd/legofuzz":                 "legofuzz",
+	}
+	for in, want := range cases {
+		if got := PkgBase(in); got != want {
+			t.Errorf("PkgBase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDeterministicGate(t *testing.T) {
+	for _, path := range []string{
+		"github.com/seqfuzz/lego/internal/core",
+		"github.com/seqfuzz/lego/internal/minidb",
+		"oracle",
+	} {
+		if !Deterministic(path) {
+			t.Errorf("Deterministic(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{
+		"github.com/seqfuzz/lego/cmd/legofuzz",
+		"github.com/seqfuzz/lego/internal/experiment",
+		"github.com/seqfuzz/lego/internal/harness",
+	} {
+		if Deterministic(path) {
+			t.Errorf("Deterministic(%q) = true, want false", path)
+		}
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		comment string
+		name    string
+		ok      bool
+	}{
+		{"//lego:allow detrange — caller sorts downstream", "detrange", true},
+		{"//lego:allow detrange - caller sorts downstream", "detrange", true},
+		{"//lego:allow walltime operator-facing timestamp", "walltime", true},
+		{"//lego:allow detrange", "", false},   // no reason
+		{"//lego:allow detrange —", "", false}, // dash but no reason
+		{"//lego:allowdetrange reason", "", false},
+		{"// lego:allow detrange reason", "", false}, // directives take no space
+		{"//lego:injector", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseAllow(c.comment)
+		if ok != c.ok || name != c.name {
+			t.Errorf("parseAllow(%q) = (%q, %v), want (%q, %v)", c.comment, name, ok, c.name, c.ok)
+		}
+	}
+}
+
+func TestHasDirective(t *testing.T) {
+	src := `package p
+
+// inject raises a fault.
+//
+//lego:injector
+func inject() {}
+
+// plain has no directive.
+func plain() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := map[string]bool{}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			docs[fd.Name.Name] = HasDirective(fd.Doc, "injector")
+		}
+	}
+	if !docs["inject"] {
+		t.Error("inject: directive not detected")
+	}
+	if docs["plain"] {
+		t.Error("plain: spurious directive")
+	}
+}

@@ -1,0 +1,172 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src, checking its diagnostics against `// want "regexp"`
+// expectations — the same contract as x/tools' analysistest, implemented on
+// the standard library's source importer so fixtures may import std
+// packages (math/rand, time, sort, …) without network access or vendoring.
+//
+// A fixture line may carry at most one expectation:
+//
+//	for k := range m { // want `iteration over map`
+//
+// Lines carrying a //lego:allow directive demonstrate suppression: the
+// framework drops the diagnostic, so the line must NOT carry a want.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/analysis"
+)
+
+// Run analyzes each fixture package (a directory name under testdata/src,
+// resolved relative to the calling test) and asserts the analyzer's
+// diagnostics match the // want expectations exactly.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runDir(t, a, filepath.Join("testdata", "src", pkg), pkg)
+		})
+	}
+}
+
+func runDir(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	src := importer.ForCompiler(fset, "source", nil)
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return src.Import(path)
+		}),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	diags, err := analysis.Run(fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	matched := map[*want]bool{}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		w := findWant(wants, pos.Filename, pos.Line)
+		if w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			continue
+		}
+		if matched[w] {
+			t.Errorf("%s: multiple diagnostics matched one want: %s", pos, d.Message)
+			continue
+		}
+		if !w.re.MatchString(d.Message) {
+			t.Errorf("%s: diagnostic %q does not match want %q", pos, d.Message, w.re)
+			continue
+		}
+		matched[w] = true
+	}
+	for _, w := range wants {
+		if !matched[w] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRE matches want expectations in either quoting style:
+// `// want "re"` or "// want `re`".
+var wantRE = regexp.MustCompile("//\\s*want\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				expr := m[1]
+				if expr == "" {
+					expr = m[2]
+				}
+				re, err := regexp.Compile(expr)
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", expr, err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func findWant(wants []*want, file string, line int) *want {
+	for _, w := range wants {
+		if w.file == file && w.line == line {
+			return w
+		}
+	}
+	return nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

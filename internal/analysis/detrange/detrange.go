@@ -1,0 +1,303 @@
+// Package detrange flags `for … range` over a map whose loop body has
+// order-dependent effects, inside the determinism-critical packages.
+//
+// Go randomizes map iteration order per run, so any map walk whose body
+// appends to a slice, draws from an RNG, emits/records output, or
+// concatenates into a string threads that randomness straight into the
+// campaign byte stream — breaking checkpoint/resume equivalence and the
+// oracle's shortest-reproducer bookkeeping.
+//
+// The one blessed idiom is collect-and-sort: a loop whose only effect is
+// appending the keys (or values) to a slice that the same function then
+// sorts. Everything else must iterate sorted keys explicitly or carry a
+// //lego:allow detrange directive.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/seqfuzz/lego/internal/analysis"
+)
+
+// Analyzer is the detrange check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "flags map iteration with order-dependent effects in determinism-critical packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.Deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !analysis.IsMapType(pass.TypesInfo.TypeOf(rs.X)) {
+				return true
+			}
+			checkMapRange(pass, file, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+// effect is one order-dependent operation found in a loop body.
+type effect struct {
+	pos  token.Pos
+	desc string
+	// appendTarget is the appended-to slice when the effect is a plain
+	// `x = append(x, …)`; nil for every other effect kind. Only loops whose
+	// effects are all appends qualify for the collect-and-sort exception.
+	appendTarget ast.Expr
+}
+
+func checkMapRange(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt) {
+	effects := findEffects(pass, rs)
+	if len(effects) == 0 {
+		return
+	}
+	if collectAndSorted(pass, file, rs, effects) {
+		return
+	}
+	e := effects[0]
+	pass.Reportf(rs.For,
+		"iteration over map %s has an order-dependent effect (%s); iterate sorted keys, or collect into a slice and sort it in this function",
+		analysis.ExprString(pass.Fset, rs.X), e.desc)
+}
+
+// findEffects walks the loop body for operations whose outcome depends on
+// iteration order. Order-independent operations — integer accumulation,
+// writes into another map, deletes, constant returns — are deliberately not
+// effects.
+func findEffects(pass *analysis.Pass, rs *ast.RangeStmt) []effect {
+	info := pass.TypesInfo
+	var effects []effect
+	add := func(pos token.Pos, desc string, target ast.Expr) {
+		effects = append(effects, effect{pos: pos, desc: desc, appendTarget: target})
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if target, ok := plainAppend(info, n); ok {
+				// Appending into a slice declared inside the loop body (the
+				// per-element deep-copy idiom, later stored into another
+				// map) accumulates nothing across iterations and is
+				// order-independent.
+				if !declaredInside(info, target, rs.Body) {
+					add(n.Pos(), "append to "+analysis.ExprString(pass.Fset, target), target)
+				}
+				// Still descend for nested effects (an RNG draw inside the
+				// append argument).
+				return true
+			}
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if t := info.TypeOf(n.Lhs[0]); t != nil && !commutative(t) {
+					add(n.Pos(), "order-sensitive += on "+t.String(), nil)
+				}
+			}
+		case *ast.CallExpr:
+			if desc, ok := callEffect(info, n); ok {
+				add(n.Pos(), desc, nil)
+			}
+		case *ast.ReturnStmt:
+			if referencesRangeVars(info, n, rs) {
+				add(n.Pos(), "early return of a map element", nil)
+			}
+		}
+		return true
+	})
+	return effects
+}
+
+// plainAppend matches `x = append(x, …)` / `x = append(y, …)` and returns
+// the assigned slice.
+func plainAppend(info *types.Info, as *ast.AssignStmt) (ast.Expr, bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, false
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return nil, false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || !analysis.IsBuiltin(info, call, "append") {
+		return nil, false
+	}
+	return as.Lhs[0], true
+}
+
+// declaredInside reports whether the base identifier of an append target is
+// declared within the loop body, making the append per-iteration state.
+func declaredInside(info *types.Info, target ast.Expr, body *ast.BlockStmt) bool {
+	e := ast.Unparen(target)
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		default:
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			return obj != nil && body.Pos() <= obj.Pos() && obj.Pos() < body.End()
+		}
+	}
+}
+
+// commutative reports whether += on the type is order-independent: integer
+// addition commutes, while float addition rounds differently per order and
+// string += concatenates in order.
+func commutative(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsInteger != 0
+}
+
+// emitNames are method/function names treated as emit/record sinks: calls
+// that serialize, log, or accumulate in order.
+var emitNames = map[string]bool{
+	"Record": true, "Emit": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+}
+
+// rngNames are *rand.Rand (and xrand) draw methods.
+var rngNames = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true,
+}
+
+// callEffect classifies a call inside the loop body.
+func callEffect(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := analysis.FuncFor(info, call.Fun)
+	if fn == nil {
+		return "", false
+	}
+	name := fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil && rngNames[name] {
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			path := ""
+			if named.Obj().Pkg() != nil {
+				path = named.Obj().Pkg().Path()
+			}
+			if path == "math/rand" || path == "math/rand/v2" || analysis.PkgBase(path) == "xrand" {
+				return "RNG draw " + name, true
+			}
+		}
+	}
+	if emitNames[name] {
+		return "emit/record call " + name, true
+	}
+	return "", false
+}
+
+// referencesRangeVars reports whether the node mentions the loop's key or
+// value variable (returning one of them leaks iteration order).
+func referencesRangeVars(info *types.Info, n ast.Node, rs *ast.RangeStmt) bool {
+	objs := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := info.Defs[id]; obj != nil {
+			objs[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			objs[obj] = true
+		}
+	}
+	if len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && objs[info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortNames maps package path → function names whose first argument is the
+// slice being sorted.
+var sortNames = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Strings": true,
+		"Ints": true, "Float64s": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// collectAndSorted reports whether every effect is a plain append whose
+// target the enclosing function sorts after the loop — the blessed
+// collect-then-sort idiom.
+func collectAndSorted(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, effects []effect) bool {
+	body, _ := analysis.EnclosingFuncBody(file, rs.Pos())
+	if body == nil {
+		return false
+	}
+	for _, e := range effects {
+		if e.appendTarget == nil {
+			return false
+		}
+		if !sortedAfter(pass, body, rs.End(), e.appendTarget) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether the function body contains, after the loop,
+// a sort call whose first argument is (textually) the given slice.
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, after token.Pos, target ast.Expr) bool {
+	want := analysis.ExprString(pass.Fset, target)
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after || found {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := analysis.PkgNameOf(pass.TypesInfo, sel)
+		names, ok := sortNames[pkg]
+		if !ok || !names[sel.Sel.Name] || len(call.Args) == 0 {
+			return true
+		}
+		if analysis.ExprString(pass.Fset, call.Args[0]) == want {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/analysis/analysistest"
+	"github.com/seqfuzz/lego/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, detrange.Analyzer, "corpus", "cli")
+}

@@ -1,0 +1,11 @@
+// Package cli is a detrange fixture for the gating rule: it is not in the
+// determinism-critical set, so even an order-dependent map walk is clean.
+package cli
+
+func report(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+// Package corpus is a detrange fixture: its name puts it in the
+// determinism-critical set, so map iteration with order-dependent effects
+// must be flagged.
+package corpus
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// keysUnsorted appends map keys without sorting: flagged.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `iteration over map m has an order-dependent effect \(append to out\)`
+		out = append(out, k)
+	}
+	return out
+}
+
+// keysSorted is the blessed collect-and-sort idiom: clean.
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// keysSliceSorted collects then sorts with sort.Slice: clean.
+func keysSliceSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// draw consumes RNG state per element in map order: flagged.
+func draw(m map[string]int, rng *rand.Rand) int {
+	n := 0
+	for range m { // want `order-dependent effect \(RNG draw Intn\)`
+		n += rng.Intn(3)
+	}
+	return n
+}
+
+// emit serializes elements in map order: flagged.
+func emit(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want `order-dependent effect \(emit/record call WriteString\)`
+		sb.WriteString(k)
+	}
+}
+
+// concat accumulates a string in map order: flagged.
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `order-dependent effect \(order-sensitive \+= on string\)`
+		s += k
+	}
+	return s
+}
+
+// firstKey leaks iteration order through an early return: flagged.
+func firstKey(m map[string]int) string {
+	for k := range m { // want `order-dependent effect \(early return of a map element\)`
+		return k
+	}
+	return ""
+}
+
+// sum is integer accumulation, which commutes: clean.
+func sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// invert writes into another map, whose final state is order-independent:
+// clean.
+func invert(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// deepCopy appends only into per-iteration locals: clean.
+func deepCopy(m map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, vs := range m {
+		cp := make([]int, 0, len(vs))
+		cp = append(cp, vs...)
+		out[k] = cp
+	}
+	return out
+}
+
+// contains returns a constant, not an element: clean.
+func contains(m map[string]int, want int) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressed demonstrates the //lego:allow directive: no finding reported.
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m { //lego:allow detrange — fixture demonstrating suppression; caller normalizes order
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+// Package globalrand forbids the process-global math/rand state outside
+// internal/xrand.
+//
+// Campaign determinism requires every random draw to flow from the seeded,
+// checkpointable RNG that internal/xrand threads through the fuzzer. The
+// package-level math/rand functions (rand.Intn, rand.Shuffle, …) consume a
+// shared source whose consumption order depends on everything else in the
+// process, and seeding a local source from the wall clock
+// (rand.NewSource(time.Now().UnixNano())) makes runs unrepeatable by
+// construction. Constructing a *rand.Rand from an explicitly threaded seed
+// remains legal — that is the threading mechanism itself.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/seqfuzz/lego/internal/analysis"
+)
+
+// Analyzer is the globalrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc:  "forbids global math/rand state and wall-clock seeding outside internal/xrand",
+	Run:  run,
+}
+
+// globalFns are the package-level math/rand functions that draw from (or
+// mutate) the shared global source.
+var globalFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings of the same global draws.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+	"N": true,
+}
+
+// constructors take a source/seed; they are flagged only when the argument
+// derives from the wall clock.
+var constructors = map[string]bool{"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true}
+
+func isRandPath(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PkgBase(pass.Pkg.Path()) == "xrand" {
+		return nil // xrand is the one place allowed to wrap math/rand
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn, _ := info.Uses[n.Sel].(*types.Func)
+				if fn == nil || fn.Pkg() == nil || !isRandPath(fn.Pkg().Path()) {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true // methods on a threaded *rand.Rand are the approved idiom
+				}
+				if globalFns[fn.Name()] {
+					pass.Reportf(n.Pos(),
+						"rand.%s draws from the process-global math/rand source; thread a seeded *rand.Rand (internal/xrand) instead",
+						fn.Name())
+				}
+			case *ast.CallExpr:
+				fn := analysis.FuncFor(info, n.Fun)
+				if fn == nil || fn.Pkg() == nil || !isRandPath(fn.Pkg().Path()) {
+					return true
+				}
+				if constructors[fn.Name()] && seedFromClock(info, n) {
+					pass.Reportf(n.Pos(),
+						"rand.%s seeded from the wall clock makes campaigns unrepeatable; derive the seed from the campaign seed",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// seedFromClock reports whether any constructor argument calls into package
+// time (time.Now().UnixNano() and friends). Nested rand constructors are
+// not descended into: they carry their own diagnostic, so
+// rand.New(rand.NewSource(time.Now()…)) is reported once, at the NewSource.
+func seedFromClock(info *types.Info, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if inner, ok := n.(*ast.CallExpr); ok {
+				if fn := analysis.FuncFor(info, inner.Fun); fn != nil && fn.Pkg() != nil &&
+					isRandPath(fn.Pkg().Path()) && constructors[fn.Name()] {
+					return false
+				}
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fn, _ := info.Uses[sel.Sel].(*types.Func); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

@@ -1,0 +1,43 @@
+// Package mutate is a globalrand fixture: globalrand applies repo-wide
+// (except internal/xrand), and "mutate" is also a determinism-critical
+// package name.
+package mutate
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalDraw consumes the process-global source: flagged.
+func globalDraw() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global math/rand source`
+}
+
+// globalShuffle mutates shared state: flagged.
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the process-global`
+}
+
+// globalValue even referencing the global function as a value is flagged.
+var globalValue = rand.Float64 // want `rand\.Float64 draws from the process-global`
+
+// clockSeed seeds from the wall clock: flagged.
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.NewSource seeded from the wall clock`
+}
+
+// threadedSeed constructs a local RNG from an explicit seed — the approved
+// threading mechanism: clean.
+func threadedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// threadedDraw draws from a threaded *rand.Rand: clean.
+func threadedDraw(r *rand.Rand) int {
+	return r.Intn(4)
+}
+
+// suppressed demonstrates the //lego:allow directive: no finding reported.
+func suppressed() int {
+	return rand.Int() //lego:allow globalrand — fixture demonstrating suppression
+}

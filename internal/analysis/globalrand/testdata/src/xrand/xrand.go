@@ -1,0 +1,8 @@
+// Package xrand is a globalrand fixture for the exemption: internal/xrand
+// is the one package allowed to touch math/rand's global surface while
+// wrapping it.
+package xrand
+
+import "math/rand"
+
+func wrap() int { return rand.Intn(10) }

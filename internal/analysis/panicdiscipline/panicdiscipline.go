@@ -1,0 +1,104 @@
+// Package panicdiscipline enforces the crash-signal contract inside
+// internal/minidb.
+//
+// The harness's crash containment treats a panic as the engine's ASAN
+// abort: a *BugReport panic is a seeded (or deliberately injected) crash,
+// and anything else is normalized into an ORGANIC PANIC bug with a
+// synthesized stack. A stray panic(fmt.Sprintf(...)) used for control flow
+// therefore doesn't just crash — it fabricates a bug the oracle counts.
+// Inside minidb, panic may only:
+//
+//   - carry a BugReport (the raiseBug path),
+//   - re-raise a value obtained from recover() (containment pass-through),
+//   - or sit inside a helper marked with a //lego:injector directive
+//     (the deterministic fault injector, whose whole purpose is raising
+//     non-BugReport panics).
+//
+// Everything else should be a SQL error return — or must justify itself
+// with //lego:allow panicdiscipline — <reason>.
+package panicdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/seqfuzz/lego/internal/analysis"
+)
+
+// Analyzer is the panicdiscipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicdiscipline",
+	Doc:  "restricts minidb panics to BugReports, recover re-raises, and //lego:injector helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PkgBase(pass.Pkg.Path()) != "minidb" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !analysis.IsBuiltin(pass.TypesInfo, call, "panic") || len(call.Args) != 1 {
+				return true
+			}
+			if allowedPanic(pass, file, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"panic in minidb must carry a *BugReport, re-raise a recover()ed value, or live in a //lego:injector helper; anything else is misclassified as an ORGANIC PANIC by crash containment")
+			return true
+		})
+	}
+	return nil
+}
+
+func allowedPanic(pass *analysis.Pass, file *ast.File, call *ast.CallExpr) bool {
+	arg := ast.Unparen(call.Args[0])
+
+	// panic(&BugReport{...}) or panic(report) where report is a *BugReport.
+	if t := pass.TypesInfo.TypeOf(arg); t != nil && analysis.NamedType(t) == "BugReport" {
+		return true
+	}
+
+	body, decl := analysis.EnclosingFuncBody(file, call.Pos())
+
+	// //lego:injector on the enclosing function declaration approves
+	// deliberate non-BugReport raises (the fault injector).
+	if decl != nil && analysis.HasDirective(decl.Doc, "injector") {
+		return true
+	}
+
+	// panic(r) where r := recover() in the same function: containment
+	// re-raising what it refused to swallow.
+	if id, ok := arg.(*ast.Ident); ok && body != nil {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && assignedFromRecover(pass.TypesInfo, body, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// assignedFromRecover reports whether the function body assigns obj from a
+// bare recover() call (including if-statement init clauses).
+func assignedFromRecover(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || found {
+			return !found
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if info.Defs[id] != obj && info.Uses[id] != obj {
+			return true
+		}
+		if rhs, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && analysis.IsBuiltin(info, rhs, "recover") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

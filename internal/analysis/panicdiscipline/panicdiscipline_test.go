@@ -1,0 +1,12 @@
+package panicdiscipline_test
+
+import (
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/analysis/analysistest"
+	"github.com/seqfuzz/lego/internal/analysis/panicdiscipline"
+)
+
+func TestPanicdiscipline(t *testing.T) {
+	analysistest.Run(t, panicdiscipline.Analyzer, "minidb", "harness")
+}

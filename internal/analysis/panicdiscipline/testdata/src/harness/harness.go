@@ -1,0 +1,9 @@
+// Package harness is a panicdiscipline fixture for the gating rule: the
+// discipline applies only inside minidb, so panics elsewhere are clean.
+package harness
+
+func mustPositive(n int) {
+	if n <= 0 {
+		panic("n must be positive")
+	}
+}

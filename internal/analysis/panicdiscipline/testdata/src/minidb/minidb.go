@@ -1,0 +1,61 @@
+// Package minidb is a panicdiscipline fixture mirroring the real engine's
+// crash-signal contract: panic may carry a BugReport, re-raise a recovered
+// value, or live in a //lego:injector helper.
+package minidb
+
+import "fmt"
+
+// BugReport stands in for the engine's crash artefact.
+type BugReport struct {
+	ID string
+}
+
+func (b *BugReport) Error() string { return b.ID }
+
+// raiseBug panics with a report: clean.
+func raiseBug(id string) {
+	panic(&BugReport{ID: id})
+}
+
+// raiseNamed panics with a report held in a variable: clean.
+func raiseNamed(b *BugReport) {
+	panic(b)
+}
+
+// badSprintf uses panic for error reporting: flagged.
+func badSprintf(n int) {
+	panic(fmt.Sprintf("bad plan state %d", n)) // want `panic in minidb must carry a \*BugReport`
+}
+
+// badBare panics with a bare string: flagged.
+func badBare() {
+	panic("unreachable") // want `panic in minidb must carry a \*BugReport`
+}
+
+// inject deliberately raises a non-BugReport organic fault; the directive
+// approves it: clean.
+//
+//lego:injector
+func inject(n int) {
+	panic(fmt.Errorf("injected engine fault #%d", n))
+}
+
+// contain re-raises what it refused to swallow: clean.
+func contain(run func()) (crash *BugReport) {
+	defer func() {
+		if r := recover(); r != nil {
+			if br, ok := r.(*BugReport); ok {
+				crash = br
+				return
+			}
+			panic(r)
+		}
+	}()
+	run()
+	return nil
+}
+
+// suppressed demonstrates the //lego:allow directive: no finding reported.
+func suppressed() {
+	panic("legacy assertion") //lego:allow panicdiscipline — fixture demonstrating suppression
+}

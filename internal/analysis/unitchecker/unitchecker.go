@@ -1,0 +1,225 @@
+// Package unitchecker implements the `go vet -vettool` protocol on top of
+// the standard library, mirroring golang.org/x/tools/go/analysis/unitchecker
+// closely enough that cmd/go drives legolint exactly like the stock vet
+// tool: once per package, with a JSON config describing the files, the
+// import map, and the export-data location of every dependency.
+//
+// The protocol has three entry points:
+//
+//   - `legolint -V=full` prints a version line that cmd/go hashes into its
+//     action cache key. The line embeds a digest of the legolint executable
+//     itself, so rebuilding the tool with changed analyzers invalidates
+//     cached vet results.
+//   - `legolint -flags` prints a JSON description of the analyzer flags the
+//     tool accepts (none), which cmd/go uses to validate its command line.
+//   - `legolint <unit>.cfg` analyzes one compilation unit.
+//
+// Type information is rebuilt per unit with go/types, importing dependency
+// packages through importer.ForCompiler("gc", lookup) where lookup opens the
+// export-data files cmd/go names in the config — the same mechanism the real
+// unitchecker uses, minus the x/tools dependency (this build must work
+// offline, so x/tools cannot be fetched).
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"github.com/seqfuzz/lego/internal/analysis"
+)
+
+// Config is the JSON unit description cmd/go writes for each vetted
+// package. Field set and meaning follow x/tools' unitchecker.Config.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the vettool protocol over the given analyzers and exits.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := "legolint"
+	args := os.Args[1:]
+
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		// cmd/go requires fields[1] == "version"; the digest makes the vet
+		// action cache sensitive to the tool's own build.
+		fmt.Printf("%s version %s (%s)\n", progname, selfDigest(), runtime.Version())
+		os.Exit(0)
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// No analyzer flags: cmd/go rejects any -<analyzer> flag up front.
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+	if len(args) == 1 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help") {
+		usage(progname, analyzers)
+		os.Exit(0)
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		usage(progname, analyzers)
+		os.Exit(1)
+	}
+
+	diags, err := runUnit(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(diags.diags) > 0 {
+		for _, d := range diags.diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", diags.fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func usage(progname string, analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(os.Stderr, "%s: statically enforces the campaign-determinism invariants.\n\n", progname)
+	fmt.Fprintf(os.Stderr, "Usage: go vet -vettool=$(which %s) ./...\n\nAnalyzers:\n", progname)
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, firstLine(a.Doc))
+	}
+	fmt.Fprintf(os.Stderr, "\nSuppress one finding with `//lego:allow <analyzer> — <reason>`.\n")
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+type unitResult struct {
+	fset  *token.FileSet
+	diags []analysis.Diagnostic
+}
+
+// runUnit analyzes the single compilation unit described by cfgFile.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) (unitResult, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return unitResult{}, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return unitResult{}, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+
+	// cmd/go expects the facts file regardless of outcome; legolint's
+	// analyzers exchange no facts, so an empty one is always correct.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return unitResult{}, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only unit: cmd/go wants facts, not findings.
+		return unitResult{}, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return unitResult{}, nil
+			}
+			return unitResult{}, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImp.Import(path)
+	})
+
+	tconf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compile step will report the error with better context.
+			return unitResult{}, nil
+		}
+		return unitResult{}, err
+	}
+
+	diags, err := analysis.Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return unitResult{}, err
+	}
+	return unitResult{fset: fset, diags: diags}, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// selfDigest hashes the running executable so cmd/go's vet cache is keyed
+// on the analyzer build, not just the tool name.
+func selfDigest() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "v0-unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "v0-unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "v0-unknown"
+	}
+	return fmt.Sprintf("v0-%x", h.Sum(nil)[:12])
+}

@@ -1,0 +1,121 @@
+package unitchecker
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/analysis"
+	"github.com/seqfuzz/lego/internal/analysis/detrange"
+)
+
+// writeUnit materializes a one-file package and its vet config, returning
+// the cfg path and the vetx output path.
+func writeUnit(t *testing.T, src string, vetxOnly bool) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "corpus.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "corpus.vetx")
+	cfg := Config{
+		ID:          "corpus",
+		Compiler:    "gc",
+		ImportPath:  "corpus",
+		GoVersion:   "go1.22",
+		GoFiles:     []string{goFile},
+		ImportMap:   map[string]string{},
+		PackageFile: map[string]string{},
+		VetxOnly:    vetxOnly,
+		VetxOutput:  vetx,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgFile := filepath.Join(dir, "corpus.cfg")
+	if err := os.WriteFile(cfgFile, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgFile, vetx
+}
+
+const violatingSrc = `package corpus
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+// TestRunUnitReportsFindings drives the cfg protocol end to end on a
+// package with a detrange violation: the finding comes back and the facts
+// file is written.
+func TestRunUnitReportsFindings(t *testing.T) {
+	cfgFile, vetx := writeUnit(t, violatingSrc, false)
+	res, err := runUnit(cfgFile, []*analysis.Analyzer{detrange.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(res.diags), res.diags)
+	}
+	if !strings.Contains(res.diags[0].Message, "order-dependent effect") {
+		t.Fatalf("unexpected message: %s", res.diags[0].Message)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("vetx facts file not written: %v", err)
+	}
+}
+
+// TestRunUnitVetxOnly asserts dependency-only units produce facts but no
+// findings and skip analysis entirely.
+func TestRunUnitVetxOnly(t *testing.T) {
+	cfgFile, vetx := writeUnit(t, violatingSrc, true)
+	res, err := runUnit(cfgFile, []*analysis.Analyzer{detrange.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.diags) != 0 {
+		t.Fatalf("VetxOnly unit reported findings: %+v", res.diags)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("vetx facts file not written: %v", err)
+	}
+}
+
+// TestRunUnitSucceedOnTypecheckFailure mirrors cmd/go's contract: a broken
+// package must exit quietly when the flag is set (the compile step owns the
+// error), and loudly when it is not.
+func TestRunUnitSucceedOnTypecheckFailure(t *testing.T) {
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "broken.go")
+	if err := os.WriteFile(goFile, []byte("package broken\n\nfunc f() int { return undeclared }\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	for _, succeed := range []bool{true, false} {
+		cfg := Config{
+			ID: "broken", Compiler: "gc", ImportPath: "broken", GoVersion: "go1.22",
+			GoFiles: []string{goFile}, ImportMap: map[string]string{}, PackageFile: map[string]string{},
+			SucceedOnTypecheckFailure: succeed,
+		}
+		data, _ := json.Marshal(cfg)
+		cfgFile := filepath.Join(dir, "broken.cfg")
+		if err := os.WriteFile(cfgFile, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		_, err := runUnit(cfgFile, []*analysis.Analyzer{detrange.Analyzer})
+		if succeed && err != nil {
+			t.Fatalf("SucceedOnTypecheckFailure: got error %v", err)
+		}
+		if !succeed && err == nil {
+			t.Fatal("expected a type-check error without SucceedOnTypecheckFailure")
+		}
+	}
+}

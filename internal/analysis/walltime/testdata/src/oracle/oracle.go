@@ -1,0 +1,31 @@
+// Package oracle is a walltime fixture: its name is in the
+// determinism-critical set, so wall-clock reads are flagged.
+package oracle
+
+import "time"
+
+// stamp reads the wall clock: flagged.
+func stamp() time.Time {
+	return time.Now() // want `wall-clock read time\.Now in determinism-critical package oracle`
+}
+
+// elapsed reads the wall clock through Since: flagged.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time\.Since`
+}
+
+// tick schedules on the wall clock: flagged.
+func tick() <-chan time.Time {
+	return time.After(time.Second) // want `wall-clock read time\.After`
+}
+
+// pureDuration does arithmetic on caller-provided times without a new clock
+// read: clean.
+func pureDuration(a, b time.Time) time.Duration {
+	return b.Sub(a)
+}
+
+// suppressed demonstrates the //lego:allow directive: no finding reported.
+func suppressed() time.Time {
+	return time.Now() //lego:allow walltime — fixture demonstrating suppression
+}

@@ -1,0 +1,8 @@
+// Package report is a walltime fixture for the gating rule: reporting and
+// CLI packages are outside the determinism-critical set, so operator-facing
+// timing stays legal.
+package report
+
+import "time"
+
+func took(t0 time.Time) time.Duration { return time.Since(t0) }

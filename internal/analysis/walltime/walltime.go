@@ -1,0 +1,62 @@
+// Package walltime forbids wall-clock reads in the determinism-critical
+// packages.
+//
+// Anything the fuzzing loop, the oracle, or the checkpoint writer derives
+// from time.Now differs between two otherwise-identical campaigns, breaking
+// the byte-exact resume and double-run equivalence the triage pipeline
+// depends on. Progress must be measured in logical units (statements,
+// executions, iterations); CLI and reporting packages, which legitimately
+// time operator-facing output, are outside the gated set.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/seqfuzz/lego/internal/analysis"
+)
+
+// Analyzer is the walltime check.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbids time.Now/time.Since wall-clock reads in determinism-critical packages",
+	Run:  run,
+}
+
+// clockFns are the package-level time functions that observe the wall
+// clock. Pure constructors (time.Duration, time.Date with fixed arguments)
+// and formatting stay legal.
+var clockFns = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.Deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := info.Uses[sel.Sel].(*types.Func)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on time.Time values carry no new clock read
+			}
+			if clockFns[fn.Name()] {
+				pass.Reportf(n.Pos(),
+					"wall-clock read time.%s in determinism-critical package %s; measure progress in logical units (statements, executions) instead",
+					fn.Name(), analysis.PkgBase(pass.Pkg.Path()))
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/analysis/analysistest"
+	"github.com/seqfuzz/lego/internal/analysis/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, walltime.Analyzer, "oracle", "report")
+}

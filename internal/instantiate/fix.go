@@ -2,6 +2,7 @@ package instantiate
 
 import (
 	"math/rand"
+	"sort"
 	"strconv"
 
 	"github.com/seqfuzz/lego/internal/sqlast"
@@ -48,16 +49,12 @@ func newSimSchema() *simSchema {
 }
 
 func (s *simSchema) tableNames() []string {
-	var out []string
+	out := make([]string, 0, len(s.tables))
 	for n := range s.tables {
 		out = append(out, n)
 	}
 	// deterministic order for a given rng seed
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 

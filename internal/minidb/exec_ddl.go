@@ -111,30 +111,41 @@ func (e *Engine) execCreateTable(st *sqlast.CreateTableStmt) (*Result, error) {
 	return ok("CREATE TABLE")
 }
 
-// lookupDomain finds a domain by case-insensitive name.
+// lookupDomain finds a domain by case-insensitive name. When several stored
+// names fold-match, the lexicographically smallest wins, so the result never
+// depends on map iteration order.
 func (e *Engine) lookupDomain(name string) *Domain {
 	if d, ok := e.cat.Domains[name]; ok {
 		return d
 	}
-	for n, d := range e.cat.Domains {
-		if strings.EqualFold(n, name) {
-			return d
+	best := ""
+	for n := range e.cat.Domains {
+		if strings.EqualFold(n, name) && (best == "" || n < best) {
+			best = n
 		}
 	}
-	return nil
+	if best == "" {
+		return nil
+	}
+	return e.cat.Domains[best]
 }
 
-// lookupEnum finds an enum type by case-insensitive name.
+// lookupEnum finds an enum type by case-insensitive name, resolving
+// fold-ambiguity like lookupDomain.
 func (e *Engine) lookupEnum(name string) *EnumType {
 	if en, ok := e.cat.Enums[name]; ok {
 		return en
 	}
-	for n, en := range e.cat.Enums {
-		if strings.EqualFold(n, name) {
-			return en
+	best := ""
+	for n := range e.cat.Enums {
+		if strings.EqualFold(n, name) && (best == "" || n < best) {
+			best = n
 		}
 	}
-	return nil
+	if best == "" {
+		return nil
+	}
+	return e.cat.Enums[best]
 }
 
 func (e *Engine) execCreateView(st *sqlast.CreateViewStmt) (*Result, error) {

@@ -40,6 +40,9 @@ func (f *faultInjector) next() float64 {
 // injection accumulates (at least) two unique organic crash signatures —
 // enough to exercise oracle deduplication of contained panics.
 
+// beforeDispatch raises a pre-dispatch organic fault.
+//
+//lego:injector
 func (f *faultInjector) beforeDispatch() {
 	if f.next() < f.rate {
 		f.n++
@@ -47,6 +50,9 @@ func (f *faultInjector) beforeDispatch() {
 	}
 }
 
+// afterDispatch raises a post-dispatch organic fault.
+//
+//lego:injector
 func (f *faultInjector) afterDispatch() {
 	if f.next() < f.rate {
 		f.n++
