@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fmtcheck test test-short bench benchall fmt examples clean ci smoke
+.PHONY: all build vet lint fmtcheck test test-short bench benchall fmt examples clean ci smoke race-shard
 
 all: build vet lint test
 
@@ -13,7 +13,15 @@ ci:
 	$(MAKE) fmtcheck
 	$(MAKE) lint
 	$(GO) test -race ./...
+	$(MAKE) race-shard
 	$(MAKE) smoke
+
+# The sharded executor's schedule-independence gate, named so its failure is
+# unambiguous: the determinism claims of internal/shard are only credible
+# race-clean, since a data race between shards is exactly a scheduling
+# dependence.
+race-shard:
+	$(GO) test -race -count=1 -run 'Sharded' ./internal/shard/ .
 
 # legolint statically enforces the campaign-determinism invariants (map
 # iteration order, global math/rand, wall-clock reads, minidb panic
@@ -28,9 +36,10 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # End-to-end triage gate: a short campaign whose every bug must verify
-# STABLE with a minimized reproducer.
+# STABLE with a minimized reproducer — once single-threaded, once sharded.
 smoke:
 	$(GO) run ./cmd/legofuzz -target comdb2 -budget 20000 -triage -triage-assert
+	$(GO) run ./cmd/legofuzz -target mariadb -budget 20000 -workers 4 -triage -triage-assert
 
 build:
 	$(GO) build ./...

@@ -10,6 +10,7 @@
 package lego_test
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/seqfuzz/lego/internal/experiment"
@@ -125,7 +126,7 @@ func BenchmarkLengthStudy(b *testing.B) {
 }
 
 // BenchmarkAblationRandomSeq compares affinity-gated synthesis against
-// uniformly random sequence generation under equal budgets (DESIGN.md §5) —
+// uniformly random sequence generation under equal budgets (DESIGN.md §8) —
 // the strawman of challenges C1/C2.
 func BenchmarkAblationRandomSeq(b *testing.B) {
 	bud := benchBudgets()
@@ -140,7 +141,7 @@ func BenchmarkAblationRandomSeq(b *testing.B) {
 }
 
 // BenchmarkAblationNoCovGate compares coverage-gated affinity extraction
-// against extract-from-everything (DESIGN.md §5).
+// against extract-from-everything (DESIGN.md §8).
 func BenchmarkAblationNoCovGate(b *testing.B) {
 	bud := benchBudgets()
 	for i := 0; i < b.N; i++ {
@@ -165,6 +166,28 @@ func BenchmarkExtensionSplitSeeds(b *testing.B) {
 		b.ReportMetric(float64(split.Bugs()), "bugs_split")
 		b.ReportMetric(float64(stock.Branches), "branches_stock")
 		b.ReportMetric(float64(split.Branches), "branches_split")
+	}
+}
+
+// BenchmarkShardedFigure9 measures the sharded campaign executor on the
+// Figure 9 MariaDB campaign: the same total statement budget run at 1, 2,
+// and 4 workers. The branches/bugs metrics are deterministic per worker
+// count (rerunning a row reproduces it bit-for-bit); stmts/s is the
+// machine-dependent part, and its speedup across rows tracks the host's
+// core count because shards only synchronize at epoch barriers.
+func BenchmarkShardedFigure9(b *testing.B) {
+	bud := benchBudgets()
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var branches, bugs int
+			for i := 0; i < b.N; i++ {
+				res := experiment.RunShardedCampaign(sqlt.DialectMariaDB, bud.DayStmts, bud.Seed, 0, w, 0)
+				branches, bugs = res.Branches, res.Bugs()
+			}
+			b.ReportMetric(float64(branches), "branches")
+			b.ReportMetric(float64(bugs), "bugs")
+			b.ReportMetric(float64(bud.DayStmts)*float64(b.N)/b.Elapsed().Seconds(), "stmts/s")
+		})
 	}
 }
 

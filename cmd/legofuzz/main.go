@@ -9,9 +9,11 @@
 //	legofuzz -target mariadb -checkpoint camp.ckpt -checkpoint-every 500
 //	legofuzz -target mariadb -checkpoint camp.ckpt -resume   # continue it
 //	legofuzz -target mariadb -triage -repros   # verified, minimized repros
+//	legofuzz -target mariadb -workers 4        # sharded, still deterministic
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the campaign stops at the next
-// iteration boundary, flushes a final checkpoint (when -checkpoint is set),
+// iteration boundary (the next epoch barrier when -workers > 1), flushes a
+// final checkpoint (when -checkpoint is set),
 // triages what was found (when -triage is set), prints the partial report,
 // and exits 0. A second signal kills the process immediately.
 package main
@@ -45,6 +47,8 @@ func main() {
 	noHazards := flag.Bool("no-hazards", false, "disarm the seeded bug corpus (coverage only)")
 	repros := flag.Bool("repros", false, "print the reproducer SQL of every bug found")
 	faultRate := flag.Float64("fault-rate", 0, "per-statement organic fault-injection probability (containment demo)")
+	workers := flag.Int("workers", 1, "parallel fuzzing shards; results are deterministic per (seed, workers, epoch-stmts)")
+	epochStmts := flag.Int("epoch-stmts", 0, "per-shard statements between merge barriers (0 = default 2000; only with -workers > 1)")
 	ckptPath := flag.String("checkpoint", "", "checkpoint file: campaign state is saved here periodically")
 	ckptEvery := flag.Int("checkpoint-every", 1000, "executions between checkpoint writes")
 	resume := flag.Bool("resume", false, "resume the campaign from -checkpoint instead of starting fresh")
@@ -70,6 +74,8 @@ func main() {
 		Triage:                    *triageOn,
 		TriageReplays:             *triageReplays,
 		TriageBudget:              *triageBudget,
+		Workers:                   *workers,
+		EpochStmts:                *epochStmts,
 	}
 
 	var f *lego.Fuzzer
@@ -110,8 +116,12 @@ func main() {
 	if *minus {
 		name = "LEGO-"
 	}
-	fmt.Printf("%s fuzzing %s (%d statement types), budget %d statements, seed %d\n",
+	fmt.Printf("%s fuzzing %s (%d statement types), budget %d statements, seed %d",
 		name, d, lego.StatementTypes(d), *budget, *seed)
+	if *workers > 1 {
+		fmt.Printf(", %d workers", *workers)
+	}
+	fmt.Println()
 
 	start := time.Now()
 	rep, err := f.FuzzWithOptions(*budget, lego.FuzzOptions{

@@ -93,6 +93,21 @@ func (m *Map) Pairs() []Pair {
 	return out
 }
 
+// Merge folds every affinity of other into m, returning the pairs that were
+// new to m in canonical (sorted) order — the cross-pollination primitive of
+// the sharded executor's epoch barrier. Merging is commutative in the final
+// pair set; the returned fresh list is deterministic because Pairs walks
+// sorted keys.
+func (m *Map) Merge(other *Map) []Pair {
+	var fresh []Pair
+	for _, p := range other.Pairs() {
+		if m.Add(p.From, p.To) {
+			fresh = append(fresh, p)
+		}
+	}
+	return fresh
+}
+
 // Analyze implements Algorithm 2: it parses the SQL Type Sequence of a test
 // case and folds every adjacent-pair affinity into the map, returning the
 // pairs that were new. Adjacent duplicates are skipped.

@@ -88,6 +88,7 @@ var deterministicPkgs = map[string]bool{
 	"triage":      true,
 	"checkpoint":  true,
 	"minidb":      true,
+	"shard":       true,
 }
 
 // PkgBase returns the last element of an import path, with the synthetic

@@ -22,7 +22,7 @@ import (
 )
 
 // Version is the current checkpoint format version. Load rejects files
-// written by a different version rather than guessing at field semantics.
+// written by an unknown version rather than guessing at field semantics.
 //
 // History:
 //
@@ -30,7 +30,18 @@ import (
 //	v2 — crashes carry triage results (status, original/minimized length,
 //	     replay tally) so a resumed campaign keeps its verified, minimized
 //	     reproducers.
-const Version = 2
+//	v3 — sharded campaigns: the top level gains the shard topology
+//	     (workers, epoch_stmts, epoch) and a shards array holding one
+//	     complete per-worker state (RNG, pool, coverage, synthesis, …)
+//	     each; the top-level curve and crashes become the merged global
+//	     view. v2 files (single-shard) still load: v3 only adds fields,
+//	     and an absent shards array means "one worker, state at top level".
+const Version = 3
+
+// minReadVersion is the oldest format Load still accepts. v2 single-shard
+// checkpoints are a strict subset of v3, so campaigns saved before sharding
+// resume cleanly.
+const minReadVersion = 2
 
 // BackupSuffix is appended to the checkpoint path for the rotated last-good
 // copy that Save leaves behind and LoadWithFallback falls back to.
@@ -110,6 +121,21 @@ type State struct {
 	SynthStarts []uint16    `json:"synth_starts"`
 	SynthRot    int         `json:"synth_rot"`
 	Pending     [][2]uint16 `json:"pending"`
+
+	// Sharded-campaign topology (v3). Workers and EpochStmts identify the
+	// campaign like Seed does — resuming under a different topology would
+	// change every epoch boundary — and Epoch counts the merge barriers
+	// passed. Shards holds one complete per-worker state in shard-index
+	// order; when it is empty the checkpoint is a single-shard campaign and
+	// the worker's state lives at the top level. In a sharded checkpoint the
+	// top-level Execs/Stmts/EnginePanics are totals across shards, Curve is
+	// the global (barrier-sampled) curve, and Crashes is the merged global
+	// oracle including triage results; the remaining top-level campaign
+	// fields are unused.
+	Workers    int      `json:"workers,omitempty"`
+	EpochStmts int      `json:"epoch_stmts,omitempty"`
+	Epoch      int      `json:"epoch,omitempty"`
+	Shards     []*State `json:"shards,omitempty"`
 }
 
 // envelope wraps the state with an integrity checksum so a torn or
@@ -200,8 +226,8 @@ func Load(path string) (*State, error) {
 	if err := json.Unmarshal(env.State, &st); err != nil {
 		return nil, fmt.Errorf("checkpoint: decode state: %w", err)
 	}
-	if st.Version != Version {
-		return nil, fmt.Errorf("checkpoint: %s has format version %d, this build reads %d", path, st.Version, Version)
+	if st.Version < minReadVersion || st.Version > Version {
+		return nil, fmt.Errorf("checkpoint: %s has format version %d, this build reads %d–%d", path, st.Version, minReadVersion, Version)
 	}
 	return &st, nil
 }

@@ -162,9 +162,9 @@ func TestLoadRejectsV1(t *testing.T) {
 	}
 }
 
-// TestV2TriageFieldsRoundTrip pins the new crash fields through a full file
+// TestTriageFieldsRoundTrip pins the v2 crash fields through a full file
 // round trip, including their omission when empty (untriaged crash).
-func TestV2TriageFieldsRoundTrip(t *testing.T) {
+func TestTriageFieldsRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "camp.ckpt")
 	want := sample()
 	want.Crashes = append(want.Crashes, Crash{
@@ -178,8 +178,8 @@ func TestV2TriageFieldsRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Version != 2 {
-		t.Fatalf("version = %d, want 2", got.Version)
+	if got.Version != Version {
+		t.Fatalf("version = %d, want %d", got.Version, Version)
 	}
 	c := got.Crashes[0]
 	if c.Status != "STABLE" || c.OriginalLen != 9 || c.MinimizedLen != 1 || c.Replays != 3 {
@@ -187,6 +187,60 @@ func TestV2TriageFieldsRoundTrip(t *testing.T) {
 	}
 	if u := got.Crashes[1]; u.Status != "" || u.OriginalLen != 0 || u.MinimizedLen != 0 || u.Replays != 0 {
 		t.Fatalf("untriaged crash grew fields: %+v", u)
+	}
+}
+
+// TestLoadAcceptsV2 pins single-shard backward compatibility: a checkpoint
+// written by the pre-sharding v2 format must load cleanly, with the sharded
+// topology fields at their "one worker, state at top level" zero values.
+func TestLoadAcceptsV2(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.ckpt")
+	writeVersion(t, path, "2")
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("v2 checkpoint must load, got %v", err)
+	}
+	if got.Workers != 0 || got.Epoch != 0 || len(got.Shards) != 0 {
+		t.Fatalf("v2 load grew shard topology: workers=%d epoch=%d shards=%d",
+			got.Workers, got.Epoch, len(got.Shards))
+	}
+	if got.Execs != 1234 || len(got.Pool) != 2 {
+		t.Fatalf("v2 campaign state lost: %+v", got)
+	}
+}
+
+// TestShardedRoundTrip pins the v3 layout: topology fields and the nested
+// per-shard states survive a full file round trip byte-exactly.
+func TestShardedRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	s0, s1 := sample(), sample()
+	s1.Seed = 8 // shard 1 runs the base seed + 1 stream
+	s1.RNG = 0x1111
+	want := &State{
+		Dialect: 2, Seed: 7, MaxLen: 5,
+		Execs: s0.Execs + s1.Execs, Stmts: s0.Stmts + s1.Stmts,
+		Workers: 2, EpochStmts: 500, Epoch: 12,
+		Shards:  []*State{s0, s1},
+		Curve:   []CurvePoint{{Execs: 100, Edges: 240}},
+		Crashes: sample().Crashes,
+	}
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workers != 2 || got.EpochStmts != 500 || got.Epoch != 12 {
+		t.Fatalf("topology lost: %+v", got)
+	}
+	if len(got.Shards) != 2 || got.Shards[1].Seed != 8 || got.Shards[1].RNG != 0x1111 {
+		t.Fatalf("nested shard states lost: %+v", got.Shards)
+	}
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("sharded round trip changed state:\nsaved  %s\nloaded %s", a, b)
 	}
 }
 

@@ -46,26 +46,8 @@ func (f *Fuzzer) Snapshot() *checkpoint.State {
 	for _, e := range f.runner.Cov.Export() {
 		st.Coverage = append(st.Coverage, checkpoint.Edge{Idx: e.Idx, Mask: e.Mask})
 	}
-	for _, c := range f.runner.Oracle.Crashes() {
-		st.Crashes = append(st.Crashes, checkpoint.Crash{
-			ID:          c.Report.ID,
-			Component:   c.Report.Component,
-			Kind:        c.Report.Kind,
-			Stack:       append([]string(nil), c.Report.Stack...),
-			Window:      exportSeq(c.Report.Window),
-			Reproducer:  c.Reproducer.SQL(),
-			FoundAtExec: c.FoundAtExec,
-			Hits:        c.Hits,
-
-			Status:       c.Status,
-			OriginalLen:  c.OriginalLen,
-			MinimizedLen: c.MinimizedLen,
-			Replays:      c.Replays,
-		})
-	}
-	for _, p := range f.runner.Curve {
-		st.Curve = append(st.Curve, checkpoint.CurvePoint{Execs: p.Execs, Edges: p.Edges})
-	}
+	st.Crashes = ExportCrashes(f.runner.Oracle)
+	st.Curve = ExportCurve(f.runner.Curve)
 
 	st.Library = map[uint16][]string{}
 	for t, sqls := range f.lib.Export() {
@@ -127,36 +109,13 @@ func Resume(opts Options, st *checkpoint.State) (*Fuzzer, error) {
 	}
 	f.runner.Cov.Import(edges)
 
-	var crashes []*oracle.Crash
-	for i, c := range st.Crashes {
-		tc, err := sqlparse.ParseScript(c.Reproducer)
-		if err != nil {
-			return nil, fmt.Errorf("resume: crash %d reproducer: %w", i, err)
-		}
-		crashes = append(crashes, &oracle.Crash{
-			Report: &minidb.BugReport{
-				ID:        c.ID,
-				Dialect:   opts.Dialect,
-				Component: c.Component,
-				Kind:      c.Kind,
-				Stack:     append([]string(nil), c.Stack...),
-				Window:    importSeq(c.Window),
-			},
-			Reproducer:  tc,
-			FoundAtExec: c.FoundAtExec,
-			Hits:        c.Hits,
-
-			Status:       c.Status,
-			OriginalLen:  c.OriginalLen,
-			MinimizedLen: c.MinimizedLen,
-			Replays:      c.Replays,
-		})
+	crashes, err := ImportCrashes(opts.Dialect, st.Crashes)
+	if err != nil {
+		return nil, fmt.Errorf("resume: %w", err)
 	}
 	f.runner.Oracle.Import(crashes)
 
-	for _, p := range st.Curve {
-		f.runner.Curve = append(f.runner.Curve, harness.CurvePoint{Execs: p.Execs, Edges: p.Edges})
-	}
+	f.runner.Curve = ImportCurve(st.Curve)
 
 	lib := map[sqlt.Type][]string{}
 	for t, sqls := range st.Library {
@@ -261,6 +220,81 @@ func (f *Fuzzer) RunWithOptions(budgetStmts int, opts RunOptions) (runner *harne
 // triage results.
 func (f *Fuzzer) Triage(cfg triage.Config) triage.Summary {
 	return triage.New(f.runner.Config(), cfg).Run(f.runner.Oracle)
+}
+
+// ExportCrashes converts an oracle's deduplicated crashes to checkpoint
+// form, in discovery order. Shared by single-shard snapshots and the sharded
+// executor's global-oracle export.
+func ExportCrashes(o *oracle.Oracle) []checkpoint.Crash {
+	var out []checkpoint.Crash
+	for _, c := range o.Crashes() {
+		out = append(out, checkpoint.Crash{
+			ID:          c.Report.ID,
+			Component:   c.Report.Component,
+			Kind:        c.Report.Kind,
+			Stack:       append([]string(nil), c.Report.Stack...),
+			Window:      exportSeq(c.Report.Window),
+			Reproducer:  c.Reproducer.SQL(),
+			FoundAtExec: c.FoundAtExec,
+			Hits:        c.Hits,
+
+			Status:       c.Status,
+			OriginalLen:  c.OriginalLen,
+			MinimizedLen: c.MinimizedLen,
+			Replays:      c.Replays,
+		})
+	}
+	return out
+}
+
+// ImportCrashes is ExportCrashes's inverse: it re-parses the reproducers and
+// rebuilds oracle entries in checkpoint order.
+func ImportCrashes(d sqlt.Dialect, crashes []checkpoint.Crash) ([]*oracle.Crash, error) {
+	var out []*oracle.Crash
+	for i, c := range crashes {
+		tc, err := sqlparse.ParseScript(c.Reproducer)
+		if err != nil {
+			return nil, fmt.Errorf("crash %d reproducer: %w", i, err)
+		}
+		out = append(out, &oracle.Crash{
+			Report: &minidb.BugReport{
+				ID:        c.ID,
+				Dialect:   d,
+				Component: c.Component,
+				Kind:      c.Kind,
+				Stack:     append([]string(nil), c.Stack...),
+				Window:    importSeq(c.Window),
+			},
+			Reproducer:  tc,
+			FoundAtExec: c.FoundAtExec,
+			Hits:        c.Hits,
+
+			Status:       c.Status,
+			OriginalLen:  c.OriginalLen,
+			MinimizedLen: c.MinimizedLen,
+			Replays:      c.Replays,
+		})
+	}
+	return out, nil
+}
+
+// ExportCurve and ImportCurve convert the coverage-over-time curve between
+// its live and checkpoint forms.
+func ExportCurve(curve []harness.CurvePoint) []checkpoint.CurvePoint {
+	var out []checkpoint.CurvePoint
+	for _, p := range curve {
+		out = append(out, checkpoint.CurvePoint{Execs: p.Execs, Edges: p.Edges})
+	}
+	return out
+}
+
+// ImportCurve is ExportCurve's inverse.
+func ImportCurve(curve []checkpoint.CurvePoint) []harness.CurvePoint {
+	var out []harness.CurvePoint
+	for _, p := range curve {
+		out = append(out, harness.CurvePoint{Execs: p.Execs, Edges: p.Edges})
+	}
+	return out
 }
 
 func exportPairs(m *affinity.Map) [][2]uint16 {

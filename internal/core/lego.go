@@ -190,6 +190,12 @@ func (f *Fuzzer) ingest(tc sqlast.TestCase, newEdges int) {
 	f.lib.Harvest(tc)
 	if f.opts.SplitLongSeeds && len(tc) > 2*f.opts.MaxLen {
 		for _, half := range f.splitSeed(tc) {
+			// A degenerate MaxLen/2 overlap can produce an empty half; an
+			// empty seed would be selected, mutated into nothing, and skipped
+			// by tryExec forever — dead weight in the schedule.
+			if len(half) == 0 {
+				continue
+			}
 			f.pool.Add(half, newEdges/2)
 		}
 	}
@@ -222,7 +228,7 @@ func (f *Fuzzer) splitSeed(tc sqlast.TestCase) []sqlast.TestCase {
 // tryExec executes a candidate test case, ingesting it when it covers new
 // branches (or unconditionally under the NoCoverageGate ablation).
 func (f *Fuzzer) tryExec(tc sqlast.TestCase) {
-	if tc == nil || len(tc) == 0 {
+	if len(tc) == 0 {
 		return
 	}
 	novel, newEdges, _ := f.runner.Execute(tc)

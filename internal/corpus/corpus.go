@@ -74,6 +74,16 @@ func (s *Seed) score() int { return 1 + s.NewEdges - 2*s.Picked }
 // All returns every retained seed in insertion order.
 func (p *Pool) All() []*Seed { return p.seeds }
 
+// Since returns the seeds added after the pool held mark entries — the
+// per-epoch delta a sharded campaign donates to its sibling shards at a
+// merge barrier.
+func (p *Pool) Since(mark int) []*Seed {
+	if mark >= len(p.seeds) {
+		return nil
+	}
+	return p.seeds[mark:]
+}
+
 // Sequences returns the type sequences of all retained seeds.
 func (p *Pool) Sequences() []sqlt.Sequence {
 	out := make([]sqlt.Sequence, len(p.seeds))

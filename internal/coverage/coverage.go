@@ -64,9 +64,18 @@ type Tracer struct {
 	touched []uint32
 }
 
+// touchedCap is the initial capacity of a tracer's touched-edge list. A
+// typical statement touches a few hundred edges; pre-sizing keeps the first
+// executions of every campaign (and of every shard worker) from growing the
+// slice through the whole doubling ladder.
+const touchedCap = 1 << 12
+
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer {
-	return &Tracer{counts: make([]uint16, MapSize)}
+	return &Tracer{
+		counts:  make([]uint16, MapSize),
+		touched: make([]uint32, 0, touchedCap),
+	}
 }
 
 // Hit reports that execution reached site s.
@@ -171,7 +180,7 @@ type EdgeState struct {
 // Export returns the map's non-virgin edges in ascending slot order, for
 // checkpointing.
 func (m *Map) Export() []EdgeState {
-	var out []EdgeState
+	out := make([]EdgeState, 0, m.edges)
 	for idx, mask := range m.virgin {
 		if mask != 0 {
 			out = append(out, EdgeState{Idx: uint32(idx), Mask: mask})
@@ -195,6 +204,35 @@ func (m *Map) Import(edges []EdgeState) {
 		}
 		m.virgin[e.Idx] |= e.Mask
 	}
+}
+
+// Merge OR-folds other's virgin buckets into m, the epoch-barrier merge of
+// the sharded executor: after merging every shard into a global map and the
+// global map back into every shard, all workers share one virgin state.
+// Merge is commutative and idempotent in its effect on the final mask set.
+func (m *Map) Merge(other *Map) {
+	for idx, mask := range other.virgin {
+		if mask == 0 {
+			continue
+		}
+		if m.virgin[idx] == 0 {
+			m.edges++
+		}
+		m.virgin[idx] |= mask
+	}
+}
+
+// Diff returns the edge buckets present in m but absent from other — what m
+// would contribute if merged into other. Each EdgeState's Mask holds only
+// the missing buckets.
+func (m *Map) Diff(other *Map) []EdgeState {
+	var out []EdgeState
+	for idx, mask := range m.virgin {
+		if d := mask &^ other.virgin[idx]; d != 0 {
+			out = append(out, EdgeState{Idx: uint32(idx), Mask: d})
+		}
+	}
+	return out
 }
 
 // Clone returns an independent copy of the map.

@@ -14,6 +14,7 @@ import (
 	"github.com/seqfuzz/lego/internal/core"
 	"github.com/seqfuzz/lego/internal/harness"
 	"github.com/seqfuzz/lego/internal/oracle"
+	"github.com/seqfuzz/lego/internal/shard"
 	"github.com/seqfuzz/lego/internal/sqlt"
 )
 
@@ -153,6 +154,35 @@ func RunCampaign(f FuzzerName, d sqlt.Dialect, execs int, seed int64, maxLen int
 		res.DiscoveredAffinities = lego.Affinities()
 	}
 	return res
+}
+
+// RunShardedCampaign executes one LEGO campaign as a deterministic sharded
+// run (internal/shard): workers parallel fuzzers sharing the total statement
+// budget, merged at epoch barriers, reported as the global view. The result
+// depends only on the arguments, never on scheduling, so scaling studies
+// (Figure 9 at N workers) are reproducible run to run. epochStmts <= 0 uses
+// the executor's default.
+func RunShardedCampaign(d sqlt.Dialect, stmts int, seed int64, maxLen, workers, epochStmts int) CampaignResult {
+	s := campaignSeed(seed, FuzzerLEGO, d)
+	e := shard.New(shard.Options{
+		Core:       core.Options{Dialect: d, Seed: s, Hazards: true, MaxLen: maxLen},
+		Workers:    workers,
+		EpochStmts: epochStmts,
+	})
+	if _, err := e.Run(stmts, shard.RunOptions{}); err != nil {
+		// Run can only fail through a Save hook, and none is installed.
+		panic(err)
+	}
+	return CampaignResult{
+		Fuzzer:               FuzzerLEGO,
+		Dialect:              d,
+		Execs:                e.Execs(),
+		Branches:             e.Branches(),
+		GenAffinities:        e.GenAffinities(),
+		DiscoveredAffinities: e.Affinities(),
+		Crashes:              e.Oracle().Crashes(),
+		Curve:                e.Curve(),
+	}
 }
 
 // --- formatting helpers ------------------------------------------------

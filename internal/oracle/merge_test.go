@@ -1,0 +1,116 @@
+package oracle
+
+import (
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/sqlparse"
+)
+
+func TestMergeKeepsShortestReproducer(t *testing.T) {
+	long := sqlparse.MustParseScript("SELECT 1; SELECT 2; SELECT 3;")
+	short := sqlparse.MustParseScript("SELECT 1;")
+
+	a := New()
+	a.Record(report("BUG-1", "Optimizer", "SEGV", "f", "g"), long, 10)
+	b := New()
+	b.Record(report("BUG-1", "Optimizer", "SEGV", "f", "g"), short, 40)
+	b.Record(report("BUG-2", "Parser", "UAF", "p"), long, 50)
+
+	a.Merge(b)
+	if a.Count() != 2 {
+		t.Fatalf("count = %d, want 2", a.Count())
+	}
+	c := a.Crashes()[0]
+	if len(c.Reproducer) != 1 {
+		t.Fatalf("merged reproducer has %d statements, want the shortest (1)", len(c.Reproducer))
+	}
+	if c.Hits != 2 {
+		t.Fatalf("hits = %d, want 2 (summed across oracles)", c.Hits)
+	}
+	if c.FoundAtExec != 10 {
+		t.Fatalf("found-at = %d, want the earliest (10)", c.FoundAtExec)
+	}
+
+	// Merging the other way never lengthens a reproducer.
+	b.Merge(a)
+	if got := b.Crashes()[0]; len(got.Reproducer) != 1 {
+		t.Fatalf("reverse merge lengthened reproducer to %d statements", len(got.Reproducer))
+	}
+}
+
+func TestMergeCopiesEntries(t *testing.T) {
+	tc := sqlparse.MustParseScript("SELECT 1; SELECT 2;")
+	src := New()
+	src.Record(report("BUG-1", "Optimizer", "SEGV", "f"), tc, 5)
+
+	dst := New()
+	dst.Merge(src)
+	// Mutating the merged copy (as triage does) must not write into src.
+	dst.Crashes()[0].Status = "STABLE"
+	dst.Crashes()[0].Reproducer = sqlparse.MustParseScript("SELECT 1;")
+	if src.Crashes()[0].Status != "" || len(src.Crashes()[0].Reproducer) != 2 {
+		t.Fatal("merge shared the crash entry; mutations leaked into the source oracle")
+	}
+}
+
+func TestMergePreservesTriageOfExisting(t *testing.T) {
+	tc := sqlparse.MustParseScript("SELECT 1;")
+	a := New()
+	a.Record(report("BUG-1", "Optimizer", "SEGV", "f"), tc, 5)
+	a.Crashes()[0].Status = "STABLE"
+	a.Crashes()[0].Replays = 3
+
+	b := New()
+	b.Record(report("BUG-1", "Optimizer", "SEGV", "f"), tc, 9)
+	a.Merge(b)
+	if c := a.Crashes()[0]; c.Status != "STABLE" || c.Replays != 3 {
+		t.Fatalf("merge clobbered triage results: %+v", c)
+	}
+
+	// And an untriaged entry adopts the incoming triage verdict.
+	c := New()
+	c.Record(report("BUG-1", "Optimizer", "SEGV", "f"), tc, 9)
+	triaged := New()
+	triaged.Record(report("BUG-1", "Optimizer", "SEGV", "f"), tc, 2)
+	triaged.Crashes()[0].Status = "FLAKY"
+	triaged.Crashes()[0].Replays = 1
+	c.Merge(triaged)
+	if got := c.Crashes()[0]; got.Status != "FLAKY" || got.Replays != 1 {
+		t.Fatalf("untriaged entry must adopt incoming triage: %+v", got)
+	}
+}
+
+func TestAdoptDeduplicatesWithoutCounting(t *testing.T) {
+	long := sqlparse.MustParseScript("SELECT 1; SELECT 2;")
+	short := sqlparse.MustParseScript("SELECT 1;")
+
+	donor := New()
+	donor.Record(report("BUG-1", "Optimizer", "SEGV", "f"), long, 10)
+
+	o := New()
+	if !o.Adopt(donor.Crashes()[0]) {
+		t.Fatal("adopting an unknown stack must report it as new")
+	}
+	if got := o.Crashes()[0]; got.Hits != 0 {
+		t.Fatalf("adopted hits = %d, want 0 (sighting counts in the donor)", got.Hits)
+	}
+
+	// A local sighting of the adopted stack is a duplicate, not a new bug.
+	if o.Record(report("BUG-1", "Optimizer", "SEGV", "f"), long, 99) {
+		t.Fatal("locally hitting an adopted stack must deduplicate")
+	}
+	if got := o.Crashes()[0]; got.Hits != 1 {
+		t.Fatalf("hits after local sighting = %d, want 1", got.Hits)
+	}
+
+	// Re-adopting with a shorter reproducer shortens, nothing else.
+	d2 := New()
+	d2.Record(report("BUG-1", "Optimizer", "SEGV", "f"), short, 3)
+	if o.Adopt(d2.Crashes()[0]) {
+		t.Fatal("known stack must not be adopted as new")
+	}
+	got := o.Crashes()[0]
+	if len(got.Reproducer) != 1 || got.Hits != 1 {
+		t.Fatalf("re-adoption: reproducer %d stmts, hits %d; want 1, 1", len(got.Reproducer), got.Hits)
+	}
+}

@@ -84,6 +84,60 @@ func (o *Oracle) Import(crashes []*Crash) {
 	}
 }
 
+// Merge folds every crash of other into o under Record's invariants, the
+// epoch-barrier primitive that builds the sharded executor's global crash
+// view. For a stack key o already holds: hits accumulate, the shortest
+// reproducer wins, the earliest FoundAtExec wins, and triage results are
+// adopted when o's entry has none. New keys are appended in other's
+// discovery order as independent copies, so later mutation of o's entries
+// (triage, shorter reproducers) never writes into other.
+func (o *Oracle) Merge(other *Oracle) {
+	for _, c := range other.Crashes() {
+		key := c.Report.StackKey()
+		prev, ok := o.seen[key]
+		if !ok {
+			cp := *c
+			o.seen[key] = &cp
+			o.order = append(o.order, key)
+			continue
+		}
+		prev.Hits += c.Hits
+		if len(c.Reproducer) < len(prev.Reproducer) {
+			prev.Reproducer = c.Reproducer
+		}
+		if c.FoundAtExec < prev.FoundAtExec {
+			prev.FoundAtExec = c.FoundAtExec
+		}
+		if prev.Status == "" && c.Status != "" {
+			prev.Status = c.Status
+			prev.OriginalLen = c.OriginalLen
+			prev.MinimizedLen = c.MinimizedLen
+			prev.Replays = c.Replays
+		}
+	}
+}
+
+// Adopt registers a crash discovered by a sibling campaign shard so this
+// oracle can deduplicate future local sightings against it. The adopted copy
+// keeps Hits at zero — the sighting already counts in the sibling's oracle,
+// and a later global Merge sums hits across shards, so seeding them here
+// would double-count. A known stack key only adopts a shorter reproducer.
+// It returns whether the stack key was new to this oracle.
+func (o *Oracle) Adopt(c *Crash) bool {
+	key := c.Report.StackKey()
+	if prev, ok := o.seen[key]; ok {
+		if len(c.Reproducer) < len(prev.Reproducer) {
+			prev.Reproducer = c.Reproducer
+		}
+		return false
+	}
+	cp := *c
+	cp.Hits = 0
+	o.seen[key] = &cp
+	o.order = append(o.order, key)
+	return true
+}
+
 // Count returns the number of unique bugs found.
 func (o *Oracle) Count() int { return len(o.seen) }
 

@@ -1,0 +1,389 @@
+// Package shard runs a LEGO campaign as N parallel workers with
+// deterministic epoch-barrier merges — the reproduction's answer to the
+// paper's parallel AFL++ instances per target (§IV), made bit-for-bit
+// replayable by the determinism substrate (exportable RNG state, byte-exact
+// checkpoints, legolint's static gates).
+//
+// # Model
+//
+// Each worker ("shard") is a complete, private core.Fuzzer: its own engine,
+// tracer, coverage map, seed pool, affinity map, synthesizer, and a seeded
+// RNG stream derived as Seed + shardID. Shards run concurrently, but only
+// between barriers, and they share no mutable state while running — the
+// goroutine scheduler can interleave them arbitrarily without affecting any
+// shard's schedule.
+//
+// Every EpochStmts statements of per-shard budget, all shards stop at an
+// epoch barrier and the coordinator merges them in fixed shard-index order:
+//
+//   - coverage maps OR-fold into a global virgin map, which then folds back
+//     into every shard, so no worker re-explores territory a sibling owns;
+//   - seeds retained during the epoch cross-pollinate into every peer's
+//     pool (as independent clones, analyzed for affinities new to the peer);
+//   - affinity maps union, and pairs new to a shard are queued for its
+//     progressive synthesis;
+//   - crashes are adopted by peers for deduplication, and the global crash
+//     view is rebuilt under the oracle's shortest-reproducer invariant;
+//   - one global coverage-curve point is sampled.
+//
+// Because shards are deterministic between barriers and every merge walks
+// shards in index order on the coordinator goroutine, the merged report and
+// checkpoint depend only on (core.Options, Workers, EpochStmts) — never on
+// goroutine scheduling or GOMAXPROCS. Synchronization is confined to the
+// barrier (a WaitGroup); sync/atomic must not appear between barriers,
+// where workers are required to be plain sequential code.
+package shard
+
+import (
+	"sync"
+
+	"github.com/seqfuzz/lego/internal/affinity"
+	"github.com/seqfuzz/lego/internal/checkpoint"
+	"github.com/seqfuzz/lego/internal/core"
+	"github.com/seqfuzz/lego/internal/corpus"
+	"github.com/seqfuzz/lego/internal/coverage"
+	"github.com/seqfuzz/lego/internal/harness"
+	"github.com/seqfuzz/lego/internal/oracle"
+	"github.com/seqfuzz/lego/internal/sqlparse"
+	"github.com/seqfuzz/lego/internal/triage"
+)
+
+// DefaultEpochStmts is the per-shard statement budget between merge
+// barriers when Options.EpochStmts is zero. Small enough that discoveries
+// propagate while they still matter, large enough that barrier cost
+// (O(map size + deltas) per shard) stays far below epoch cost.
+const DefaultEpochStmts = 2000
+
+// Options configures a sharded campaign.
+type Options struct {
+	// Core is the per-shard fuzzer configuration. Core.Seed is the base
+	// seed: shard i runs the stream Core.Seed + i.
+	Core core.Options
+	// Workers is the number of parallel shards (minimum 1).
+	Workers int
+	// EpochStmts is the per-shard statement budget between merge barriers
+	// (default DefaultEpochStmts). Together with Workers it is part of the
+	// campaign's identity: changing it moves every barrier.
+	EpochStmts int
+}
+
+func (o *Options) fill() {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.EpochStmts <= 0 {
+		o.EpochStmts = DefaultEpochStmts
+	}
+	// xrand maps seed 0 to 1, which would collide with shard 1's stream;
+	// normalize before deriving per-shard seeds.
+	if o.Core.Seed == 0 {
+		o.Core.Seed = 1
+	}
+}
+
+// Executor drives N fuzzer shards through epoch-barrier rounds.
+type Executor struct {
+	opts   Options
+	shards []*core.Fuzzer
+
+	// global is the merged virgin coverage map; oracle is the merged crash
+	// view; curve samples (total execs, global edges) once per barrier.
+	global *coverage.Map
+	oracle *oracle.Oracle
+	curve  []harness.CurvePoint
+
+	// epoch counts the barriers passed; shard i's next barrier sits at
+	// min(target_i, (epoch+1)*EpochStmts) statements.
+	epoch int
+	// poolMark[i] is shard i's pool size at the last barrier; everything
+	// after it is the delta donated to peers at the next one.
+	poolMark []int
+}
+
+// New builds a sharded campaign executor. Every shard ingests the initial
+// seed corpus independently (they are identical streams until the first
+// divergent RNG draw), and an initial barrier folds that shared baseline
+// into the global coverage map.
+func New(opts Options) *Executor {
+	opts.fill()
+	e := &Executor{
+		opts:   opts,
+		global: coverage.NewMap(),
+		oracle: oracle.New(),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		co := opts.Core
+		co.Seed += int64(i)
+		e.shards = append(e.shards, core.New(co))
+	}
+	e.poolMark = make([]int, opts.Workers)
+	for i, sh := range e.shards {
+		e.poolMark[i] = sh.Pool().Len()
+	}
+	e.mergeBarrier()
+	return e
+}
+
+// RunOptions configures one Run leg, mirroring core.RunOptions at epoch
+// granularity.
+type RunOptions struct {
+	// EveryExecs is the checkpoint cadence in total (cross-shard) test-case
+	// executions; Save also runs once when the leg ends. Checkpoints are
+	// only taken at epoch barriers, the states a resumed campaign can
+	// deterministically continue from.
+	EveryExecs int
+	// Save persists a snapshot; a non-nil error aborts the leg.
+	Save func(*checkpoint.State) error
+	// Stop requests graceful shutdown. It is polled only at epoch barriers:
+	// a barrier is a state every uninterrupted campaign also passes
+	// through, so resuming a stopped campaign and finishing the budget
+	// reproduces the uninterrupted campaign exactly. Mid-epoch stops would
+	// park shards at statement counts no uninterrupted campaign pauses at.
+	// A nil channel never stops.
+	Stop <-chan struct{}
+}
+
+// Run drives all shards until every one has consumed its slice of
+// budgetStmts (total statements, split as evenly as the worker count
+// allows) or Stop is closed at a barrier. interrupted reports the latter.
+func (e *Executor) Run(budgetStmts int, opts RunOptions) (interrupted bool, err error) {
+	targets := e.targets(budgetStmts)
+	stopped := func() bool {
+		if opts.Stop == nil {
+			return false
+		}
+		select {
+		case <-opts.Stop:
+			return true
+		default:
+			return false
+		}
+	}
+	lastSaved := e.Execs()
+	for !e.done(targets) && !stopped() {
+		e.runEpoch(targets)
+		e.epoch++
+		e.mergeBarrier()
+		if opts.Save != nil && opts.EveryExecs > 0 && e.Execs()-lastSaved >= opts.EveryExecs {
+			if err := opts.Save(e.Snapshot()); err != nil {
+				return false, err
+			}
+			lastSaved = e.Execs()
+		}
+	}
+	interrupted = !e.done(targets) && stopped()
+	if opts.Save != nil {
+		if err := opts.Save(e.Snapshot()); err != nil {
+			return interrupted, err
+		}
+	}
+	return interrupted, nil
+}
+
+// targets splits the total statement budget into per-shard absolute
+// targets: base share plus one spare statement for the first budget%N
+// shards, so the split itself is part of the deterministic contract.
+func (e *Executor) targets(budgetStmts int) []int {
+	n := len(e.shards)
+	base, rem := budgetStmts/n, budgetStmts%n
+	out := make([]int, n)
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+func (e *Executor) done(targets []int) bool {
+	for i, sh := range e.shards {
+		if sh.Runner().Stmts < targets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runEpoch runs every unfinished shard concurrently up to the next epoch
+// boundary. This is the only place the executor spawns goroutines; the
+// WaitGroup barrier below is the campaign's entire synchronization surface.
+func (e *Executor) runEpoch(targets []int) {
+	end := (e.epoch + 1) * e.opts.EpochStmts
+	var wg sync.WaitGroup
+	for i, sh := range e.shards {
+		budget := targets[i]
+		if end < budget {
+			budget = end
+		}
+		if sh.Runner().Stmts >= budget {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *core.Fuzzer, budget int) {
+			defer wg.Done()
+			// No save, no stop: checkpointing and shutdown are barrier-level
+			// concerns. RunWithOptions can only fail through Save.
+			_, _, _ = sh.RunWithOptions(budget, core.RunOptions{})
+		}(sh, budget)
+	}
+	wg.Wait()
+}
+
+// mergeBarrier merges all shards in fixed shard-index order. It runs on the
+// coordinator goroutine while every shard is parked, so the merged state —
+// and through cross-pollination, every shard's next-epoch schedule — is a
+// pure function of the shards' states, independent of how the epoch's
+// goroutines were scheduled.
+func (e *Executor) mergeBarrier() {
+	n := len(e.shards)
+
+	// Coverage: fold every shard into the global virgin map, then the
+	// global map back into every shard, leaving all workers with identical
+	// coverage state — the OR-fold of everything any worker has seen.
+	for _, sh := range e.shards {
+		e.global.Merge(sh.Runner().Cov)
+	}
+	for _, sh := range e.shards {
+		sh.Runner().Cov.Merge(e.global)
+	}
+
+	// Seeds: capture every shard's epoch delta before any adoption, so a
+	// donated seed is not re-donated by its receiver within the same
+	// barrier. Clones keep shards from sharing mutable ASTs.
+	deltas := make([][]*corpus.Seed, n)
+	for i, sh := range e.shards {
+		deltas[i] = sh.Pool().Since(e.poolMark[i])
+	}
+	for recv := 0; recv < n; recv++ {
+		for donor := 0; donor < n; donor++ {
+			if donor == recv {
+				continue
+			}
+			for _, s := range deltas[donor] {
+				e.shards[recv].AdoptSeed(sqlparse.CloneTestCase(s.TC), s.NewEdges)
+			}
+		}
+	}
+	for i, sh := range e.shards {
+		e.poolMark[i] = sh.Pool().Len()
+	}
+
+	// Affinities: union every donor map into every receiver; pairs new to
+	// a receiver enter its synthesis queue. Transitive adoption within one
+	// barrier is harmless — the union converges and Add deduplicates.
+	for recv := 0; recv < n; recv++ {
+		for donor := 0; donor < n; donor++ {
+			if donor != recv {
+				e.shards[recv].AdoptAffinities(e.shards[donor].AffinityMap())
+			}
+		}
+	}
+
+	// Crashes: peers adopt each other's crashes (hits stay with the
+	// observer, so the global sum below counts every sighting once), then
+	// the global view is rebuilt under the shortest-reproducer invariant.
+	crashes := make([][]*oracle.Crash, n)
+	for i, sh := range e.shards {
+		crashes[i] = sh.Runner().Oracle.Crashes()
+	}
+	for recv := 0; recv < n; recv++ {
+		for donor := 0; donor < n; donor++ {
+			if donor == recv {
+				continue
+			}
+			for _, c := range crashes[donor] {
+				e.shards[recv].Runner().Oracle.Adopt(c)
+			}
+		}
+	}
+	g := oracle.New()
+	for _, sh := range e.shards {
+		g.Merge(sh.Runner().Oracle)
+	}
+	e.oracle = g
+
+	// One global curve point per barrier that made progress.
+	if ex := e.Execs(); len(e.curve) == 0 || e.curve[len(e.curve)-1].Execs != ex {
+		e.curve = append(e.curve, harness.CurvePoint{Execs: ex, Edges: e.global.EdgeCount()})
+	}
+}
+
+// Triage runs the crash triage pipeline over the merged global oracle on a
+// fresh quarantined engine built from shard 0's configuration (all shards
+// share it up to the RNG seed, which triage reseeds per crash anyway).
+func (e *Executor) Triage(cfg triage.Config) triage.Summary {
+	return triage.New(e.shards[0].Runner().Config(), cfg).Run(e.oracle)
+}
+
+// Workers returns the shard count.
+func (e *Executor) Workers() int { return len(e.shards) }
+
+// Epoch returns the number of merge barriers passed.
+func (e *Executor) Epoch() int { return e.epoch }
+
+// Shards exposes the per-shard fuzzers (read-only use: tests and metric
+// collection between Run legs).
+func (e *Executor) Shards() []*core.Fuzzer { return e.shards }
+
+// Execs returns total test-case executions across shards.
+func (e *Executor) Execs() int {
+	total := 0
+	for _, sh := range e.shards {
+		total += sh.Runner().Execs
+	}
+	return total
+}
+
+// Stmts returns total statements executed across shards.
+func (e *Executor) Stmts() int {
+	total := 0
+	for _, sh := range e.shards {
+		total += sh.Runner().Stmts
+	}
+	return total
+}
+
+// EnginePanics returns total contained organic panics across shards.
+func (e *Executor) EnginePanics() int {
+	total := 0
+	for _, sh := range e.shards {
+		total += sh.Runner().EnginePanics
+	}
+	return total
+}
+
+// Branches returns the global branch-coverage metric.
+func (e *Executor) Branches() int { return e.global.EdgeCount() }
+
+// Oracle returns the merged global crash view (rebuilt at every barrier).
+func (e *Executor) Oracle() *oracle.Oracle { return e.oracle }
+
+// Curve returns the global coverage curve, one sample per barrier.
+func (e *Executor) Curve() []harness.CurvePoint { return e.curve }
+
+// Affinities returns the number of distinct type-affinities discovered by
+// any shard. After a barrier all shards hold the union, but merging keeps
+// the answer right mid-leg too.
+func (e *Executor) Affinities() int {
+	m := affinity.NewMap()
+	for _, sh := range e.shards {
+		m.Merge(sh.AffinityMap())
+	}
+	return m.Count()
+}
+
+// GenAffinities returns the distinct type-affinities contained in the test
+// cases generated by any shard (the Table II metric, cross-shard union).
+func (e *Executor) GenAffinities() int {
+	m := affinity.NewMap()
+	for _, sh := range e.shards {
+		m.Merge(sh.Runner().GenAff)
+	}
+	return m.Count()
+}
+
+// PoolLen returns the merged seed-pool size. Post-barrier every shard's
+// pool holds the same seed set (its own plus every peer's), so shard 0
+// speaks for the campaign.
+func (e *Executor) PoolLen() int { return e.shards[0].Pool().Len() }

@@ -29,6 +29,8 @@ import (
 	"github.com/seqfuzz/lego/internal/core"
 	"github.com/seqfuzz/lego/internal/harness"
 	"github.com/seqfuzz/lego/internal/minidb"
+	"github.com/seqfuzz/lego/internal/oracle"
+	"github.com/seqfuzz/lego/internal/shard"
 	"github.com/seqfuzz/lego/internal/sqlparse"
 	"github.com/seqfuzz/lego/internal/sqlt"
 	"github.com/seqfuzz/lego/internal/triage"
@@ -83,6 +85,19 @@ type Config struct {
 	// crash (default 256), so triage is bounded even on pathological
 	// reproducers.
 	TriageBudget int
+	// Workers runs the campaign as N parallel shards — each a complete
+	// private fuzzer seeded Seed+shardID — that merge deterministically at
+	// epoch barriers: coverage OR-folds, seeds and affinities and crashes
+	// cross-pollinate, all in fixed shard order. The report and checkpoint
+	// depend only on (Config, Workers, EpochStmts), never on goroutine
+	// scheduling. Workers <= 1 (the default) uses the single-threaded path
+	// unchanged.
+	Workers int
+	// EpochStmts is the per-shard statement budget between merge barriers
+	// (default 2000). Like Seed, it is part of a sharded campaign's
+	// identity: a checkpoint only resumes under the same value. Ignored
+	// when Workers <= 1.
+	EpochStmts int
 }
 
 // Bug describes one deduplicated crash.
@@ -138,10 +153,12 @@ type Report struct {
 	Bugs []Bug
 }
 
-// Fuzzer is a LEGO fuzzing session against one target.
+// Fuzzer is a LEGO fuzzing session against one target. Exactly one of
+// inner (single-threaded) and sharded (Workers > 1) is set.
 type Fuzzer struct {
-	inner *core.Fuzzer
-	cfg   Config
+	inner   *core.Fuzzer
+	sharded *shard.Executor
+	cfg     Config
 	// resumeWarning is set when ResumeFuzzer had to fall back to the
 	// rotated .bak checkpoint generation.
 	resumeWarning string
@@ -163,8 +180,15 @@ func (cfg Config) options() core.Options {
 	}
 }
 
+func (cfg Config) shardOptions() shard.Options {
+	return shard.Options{Core: cfg.options(), Workers: cfg.Workers, EpochStmts: cfg.EpochStmts}
+}
+
 // NewFuzzer builds a fuzzing session.
 func NewFuzzer(cfg Config) *Fuzzer {
+	if cfg.Workers > 1 {
+		return &Fuzzer{sharded: shard.New(cfg.shardOptions()), cfg: cfg}
+	}
 	return &Fuzzer{inner: core.New(cfg.options()), cfg: cfg}
 }
 
@@ -179,6 +203,16 @@ func ResumeFuzzer(cfg Config, path string) (*Fuzzer, error) {
 	st, warning, err := checkpoint.LoadWithFallback(path)
 	if err != nil {
 		return nil, err
+	}
+	// A sharded checkpoint (or a sharded config) routes through the
+	// executor, which validates that the topology matches; a single-shard
+	// checkpoint under Workers <= 1 stays on the single-threaded path.
+	if cfg.Workers > 1 || st.Workers > 1 {
+		ex, err := shard.Resume(cfg.shardOptions(), st)
+		if err != nil {
+			return nil, err
+		}
+		return &Fuzzer{sharded: ex, cfg: cfg, resumeWarning: warning}, nil
 	}
 	inner, err := core.Resume(cfg.options(), st)
 	if err != nil {
@@ -239,6 +273,22 @@ func (f *Fuzzer) FuzzWithOptions(budgetStmts int, opts FuzzOptions) (Report, err
 			return checkpoint.Save(opts.CheckpointPath, st)
 		}
 	}
+	if f.sharded != nil {
+		interrupted, err := f.sharded.Run(budgetStmts, shard.RunOptions{
+			EveryExecs: opts.CheckpointEvery,
+			Save:       save,
+			Stop:       opts.Stop,
+		})
+		if err == nil && f.cfg.Triage {
+			f.sharded.Triage(triage.Config{Replays: f.cfg.TriageReplays, Budget: f.cfg.TriageBudget})
+			if save != nil {
+				err = save(f.sharded.Snapshot())
+			}
+		}
+		rep := f.shardedReport()
+		rep.Interrupted = interrupted
+		return rep, err
+	}
 	runner, interrupted, err := f.inner.RunWithOptions(budgetStmts, core.RunOptions{
 		EveryExecs: opts.CheckpointEvery,
 		Save:       save,
@@ -256,16 +306,35 @@ func (f *Fuzzer) FuzzWithOptions(budgetStmts int, opts FuzzOptions) (Report, err
 }
 
 func (f *Fuzzer) report(runner *harness.Runner) Report {
-	rep := Report{
+	return Report{
 		Executions:   runner.Execs,
 		Statements:   runner.Stmts,
 		Branches:     runner.Branches(),
 		Affinities:   f.inner.Affinities(),
 		SeedPool:     f.inner.Pool().Len(),
 		EnginePanics: runner.EnginePanics,
+		Bugs:         bugsFrom(runner.Oracle.Crashes()),
 	}
-	for _, c := range runner.Oracle.Crashes() {
-		rep.Bugs = append(rep.Bugs, Bug{
+}
+
+// shardedReport summarizes a sharded campaign from its merged global view:
+// totals across shards, the OR-folded coverage, and the global oracle.
+func (f *Fuzzer) shardedReport() Report {
+	return Report{
+		Executions:   f.sharded.Execs(),
+		Statements:   f.sharded.Stmts(),
+		Branches:     f.sharded.Branches(),
+		Affinities:   f.sharded.Affinities(),
+		SeedPool:     f.sharded.PoolLen(),
+		EnginePanics: f.sharded.EnginePanics(),
+		Bugs:         bugsFrom(f.sharded.Oracle().Crashes()),
+	}
+}
+
+func bugsFrom(crashes []*oracle.Crash) []Bug {
+	var bugs []Bug
+	for _, c := range crashes {
+		bugs = append(bugs, Bug{
 			ID:          c.Report.ID,
 			Component:   c.Report.Component,
 			Kind:        c.Report.Kind,
@@ -278,7 +347,7 @@ func (f *Fuzzer) report(runner *harness.Runner) Report {
 			Replays:      c.Replays,
 		})
 	}
-	return rep
+	return bugs
 }
 
 // DB is a standalone handle on the substrate engine, for direct SQL use
