@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fmtcheck test test-short bench benchall fmt examples clean ci smoke race-shard
+.PHONY: all build vet lint fmtcheck test test-short bench benchall fmt examples clean ci smoke race-shard chaos
 
 all: build vet lint test
 
@@ -15,6 +15,7 @@ ci:
 	$(GO) test -race ./...
 	$(MAKE) race-shard
 	$(MAKE) smoke
+	$(MAKE) chaos
 
 # The sharded executor's schedule-independence gate, named so its failure is
 # unambiguous: the determinism claims of internal/shard are only credible
@@ -40,6 +41,19 @@ fmtcheck:
 smoke:
 	$(GO) run ./cmd/legofuzz -target comdb2 -budget 20000 -triage -triage-assert
 	$(GO) run ./cmd/legofuzz -target mariadb -budget 20000 -workers 4 -triage -triage-assert
+
+# Chaos determinism gate: run the same supervised chaotic campaign twice and
+# demand byte-identical checkpoints — injected worker panics, epoch retries,
+# quarantine, and the incident journal must all be pure functions of
+# (chaos-rate, chaos-seed).
+chaos:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/legofuzz -target mariadb -budget 30000 -workers 4 \
+		-epoch-stmts 500 -chaos-rate 0.05 -chaos-seed 7 -checkpoint "$$tmp/a.ckpt" && \
+	$(GO) run ./cmd/legofuzz -target mariadb -budget 30000 -workers 4 \
+		-epoch-stmts 500 -chaos-rate 0.05 -chaos-seed 7 -checkpoint "$$tmp/b.ckpt" && \
+	cmp "$$tmp/a.ckpt" "$$tmp/b.ckpt" && \
+	echo "chaos: double-run checkpoints byte-identical"
 
 build:
 	$(GO) build ./...

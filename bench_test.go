@@ -126,7 +126,7 @@ func BenchmarkLengthStudy(b *testing.B) {
 }
 
 // BenchmarkAblationRandomSeq compares affinity-gated synthesis against
-// uniformly random sequence generation under equal budgets (DESIGN.md §8) —
+// uniformly random sequence generation under equal budgets (DESIGN.md §9) —
 // the strawman of challenges C1/C2.
 func BenchmarkAblationRandomSeq(b *testing.B) {
 	bud := benchBudgets()
@@ -141,7 +141,7 @@ func BenchmarkAblationRandomSeq(b *testing.B) {
 }
 
 // BenchmarkAblationNoCovGate compares coverage-gated affinity extraction
-// against extract-from-everything (DESIGN.md §8).
+// against extract-from-everything (DESIGN.md §9).
 func BenchmarkAblationNoCovGate(b *testing.B) {
 	bud := benchBudgets()
 	for i := 0; i < b.N; i++ {

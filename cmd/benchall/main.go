@@ -6,11 +6,13 @@
 //
 //	benchall                  # everything, default budgets
 //	benchall -quick           # scaled-down budgets
-//	benchall -only table3     # one experiment: table1..table4, fig9, length, sharded
+//	benchall -only table3     # one experiment: table1..table4, fig9, length, sharded, perf
+//	benchall -only perf       # throughput snapshot (writes BENCH_perf.json)
 //	benchall -execs 50000     # override the per-campaign budget
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,7 +25,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use scaled-down budgets")
-	only := flag.String("only", "", "run a single experiment: table1, table2, table3, table4, fig9, length")
+	only := flag.String("only", "", "run a single experiment: table1, table2, table3, table4, fig9, length, sharded, perf")
 	execs := flag.Int("execs", 0, "override the 24h-equivalent execution budget")
 	contExecs := flag.Int("continuous", 0, "override the continuous-fuzzing budget (table1)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
@@ -74,10 +76,11 @@ func main() {
 	run("table4", func() string { return experiment.Table4(b).Format() })
 	run("length", func() string { return experiment.LengthStudy(b).Format() })
 	run("sharded", func() string { return shardedStudy(b) })
+	run("perf", func() string { return perfSnapshot(b) })
 
 	if *only != "" {
 		switch *only {
-		case "table1", "table2", "table3", "table4", "fig9", "length", "sharded":
+		case "table1", "table2", "table3", "table4", "fig9", "length", "sharded", "perf":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 			os.Exit(2)
@@ -107,5 +110,94 @@ func shardedStudy(b experiment.Budgets) string {
 			w, res.Execs, res.Branches, res.DiscoveredAffinities, res.Bugs(), dur, execsPerSec))
 	}
 	sb.WriteString("\n(paper: LEGO ran as parallel AFL++ instances per target; here the shards\n merge at epoch barriers, so every row above is bit-reproducible per seed)\n")
+	return sb.String()
+}
+
+// perfRow is one configuration of the throughput snapshot.
+type perfRow struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	ChaosRate   float64 `json:"chaos_rate"`
+	Statements  int     `json:"statements"`
+	Executions  int     `json:"executions"`
+	Branches    int     `json:"branches"`
+	Bugs        int     `json:"bugs"`
+	Incidents   int     `json:"incidents"`
+	Quarantined int     `json:"quarantined"`
+	Seconds     float64 `json:"seconds"`
+	StmtsPerSec float64 `json:"stmts_per_sec"`
+}
+
+// perfSnapshot measures end-to-end campaign throughput (statements/sec) at
+// one worker, four workers, and four workers with the chaos plane armed —
+// the supervision overhead row — and writes the machine-readable snapshot to
+// BENCH_perf.json. Campaign results per row are deterministic; the timing
+// columns are the machine-dependent part.
+func perfSnapshot(b experiment.Budgets) string {
+	const epochStmts = 500
+	type cfgRow struct {
+		name      string
+		workers   int
+		chaosRate float64
+	}
+	// The chaos rate is picked so a default-budget campaign sees a handful
+	// of supervised failures per shard — enough retry work to price the
+	// supervision overhead, not enough to quarantine the fleet and turn the
+	// row into a degradation study.
+	cfgs := []cfgRow{
+		{"workers-1", 1, 0},
+		{"workers-4", 4, 0},
+		{"workers-4-chaos-0.01", 4, 0.01},
+	}
+	rows := make([]perfRow, 0, len(cfgs))
+	for _, c := range cfgs {
+		start := time.Now()
+		res, cs := experiment.RunChaoticCampaign(
+			sqlt.DialectMariaDB, b.DayStmts, b.Seed, 5, c.workers, epochStmts, c.chaosRate, b.Seed)
+		dur := time.Since(start).Seconds()
+		row := perfRow{
+			Name:        c.name,
+			Workers:     c.workers,
+			ChaosRate:   c.chaosRate,
+			Statements:  cs.Stmts,
+			Executions:  res.Execs,
+			Branches:    res.Branches,
+			Bugs:        res.Bugs(),
+			Incidents:   cs.Incidents,
+			Quarantined: cs.Quarantined,
+			Seconds:     dur,
+		}
+		if dur > 0 {
+			row.StmtsPerSec = float64(cs.Stmts) / dur
+		}
+		rows = append(rows, row)
+	}
+
+	snapshot := struct {
+		Experiment  string    `json:"experiment"`
+		Dialect     string    `json:"dialect"`
+		BudgetStmts int       `json:"budget_stmts"`
+		EpochStmts  int       `json:"epoch_stmts"`
+		Seed        int64     `json:"seed"`
+		Rows        []perfRow `json:"rows"`
+	}{"perf", sqlt.DialectMariaDB.String(), b.DayStmts, epochStmts, b.Seed, rows}
+	var sb strings.Builder
+	if data, err := json.MarshalIndent(snapshot, "", "  "); err == nil {
+		if werr := os.WriteFile("BENCH_perf.json", append(data, '\n'), 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "perf: %v\n", werr)
+		} else {
+			sb.WriteString("[perf snapshot written to BENCH_perf.json]\n")
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+	}
+
+	sb.WriteString("Campaign throughput — supervision and chaos overhead (MariaDB)\n")
+	sb.WriteString(fmt.Sprintf("%-22s  %10s  %9s  %9s  %5s  %8s  %8s\n",
+		"config", "statements", "incidents", "quarant.", "bugs", "seconds", "stmts/s"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-22s  %10d  %9d  %9d  %5d  %8.2f  %8.0f\n",
+			r.Name, r.Statements, r.Incidents, r.Quarantined, r.Bugs, r.Seconds, r.StmtsPerSec))
+	}
 	return sb.String()
 }

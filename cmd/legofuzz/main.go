@@ -10,6 +10,7 @@
 //	legofuzz -target mariadb -checkpoint camp.ckpt -resume   # continue it
 //	legofuzz -target mariadb -triage -repros   # verified, minimized repros
 //	legofuzz -target mariadb -workers 4        # sharded, still deterministic
+//	legofuzz -target mariadb -workers 4 -chaos-rate 0.05   # supervised chaos
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the campaign stops at the next
 // iteration boundary (the next epoch barrier when -workers > 1), flushes a
@@ -49,6 +50,9 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "per-statement organic fault-injection probability (containment demo)")
 	workers := flag.Int("workers", 1, "parallel fuzzing shards; results are deterministic per (seed, workers, epoch-stmts)")
 	epochStmts := flag.Int("epoch-stmts", 0, "per-shard statements between merge barriers (0 = default 2000; only with -workers > 1)")
+	chaosRate := flag.Float64("chaos-rate", 0, "deterministic chaos plane: per-decision probability of injected worker panics, epoch stalls, and checkpoint I/O faults (0 disables)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "fault-schedule seed (0 = -seed); campaigns are deterministic per (chaos-rate, chaos-seed)")
+	maxRetries := flag.Int("max-epoch-retries", 0, "per-shard epoch-retry budget before quarantine (0 = default 3, negative = quarantine on first failure)")
 	ckptPath := flag.String("checkpoint", "", "checkpoint file: campaign state is saved here periodically")
 	ckptEvery := flag.Int("checkpoint-every", 1000, "executions between checkpoint writes")
 	resume := flag.Bool("resume", false, "resume the campaign from -checkpoint instead of starting fresh")
@@ -76,6 +80,9 @@ func main() {
 		TriageBudget:              *triageBudget,
 		Workers:                   *workers,
 		EpochStmts:                *epochStmts,
+		ChaosRate:                 *chaosRate,
+		ChaosSeed:                 *chaosSeed,
+		MaxEpochRetries:           *maxRetries,
 	}
 
 	var f *lego.Fuzzer
@@ -121,6 +128,9 @@ func main() {
 	if *workers > 1 {
 		fmt.Printf(", %d workers", *workers)
 	}
+	if *chaosRate > 0 {
+		fmt.Printf(", chaos rate %g", *chaosRate)
+	}
 	fmt.Println()
 
 	start := time.Now()
@@ -150,6 +160,20 @@ func main() {
 	fmt.Printf("seed pool  : %d\n", rep.SeedPool)
 	if rep.EnginePanics > 0 {
 		fmt.Printf("contained  : %d organic engine panics (campaign survived all of them)\n", rep.EnginePanics)
+	}
+	if len(rep.Incidents) > 0 {
+		fmt.Printf("incidents  : %d worker failures supervised\n", len(rep.Incidents))
+		for _, in := range rep.Incidents {
+			fmt.Printf("  epoch %3d shard %d  %-13s -> %-11s (retries %d)\n",
+				in.Epoch, in.Shard, in.Kind, in.Outcome, in.Retries)
+		}
+	}
+	if len(rep.Quarantined) > 0 {
+		fmt.Printf("degraded   : %d of %d workers quarantined %v; campaign finished on %d\n",
+			len(rep.Quarantined), rep.Workers, rep.Quarantined, rep.Workers-len(rep.Quarantined))
+	}
+	if rep.SaveFaults > 0 {
+		fmt.Printf("save faults: %d checkpoint writes eaten by injected I/O faults (last-good generation kept)\n", rep.SaveFaults)
 	}
 	fmt.Printf("bugs       : %d unique\n", len(rep.Bugs))
 	for i, b := range rep.Bugs {

@@ -89,6 +89,7 @@ var deterministicPkgs = map[string]bool{
 	"checkpoint":  true,
 	"minidb":      true,
 	"shard":       true,
+	"chaos":       true,
 }
 
 // PkgBase returns the last element of an import path, with the synthetic

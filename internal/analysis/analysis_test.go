@@ -27,6 +27,7 @@ func TestDeterministicGate(t *testing.T) {
 	for _, path := range []string{
 		"github.com/seqfuzz/lego/internal/core",
 		"github.com/seqfuzz/lego/internal/minidb",
+		"github.com/seqfuzz/lego/internal/chaos",
 		"oracle",
 	} {
 		if !Deterministic(path) {

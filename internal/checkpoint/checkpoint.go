@@ -36,7 +36,13 @@ import (
 //	     each; the top-level curve and crashes become the merged global
 //	     view. v2 files (single-shard) still load: v3 only adds fields,
 //	     and an absent shards array means "one worker, state at top level".
-const Version = 3
+//	v4 — chaos plane and shard supervision: the top level gains the chaos
+//	     identity (chaos_rate, chaos_seed, max_epoch_retries) and the
+//	     incident journal; each shard entry gains its quarantine flag and
+//	     retry tally. Purely additive: v3 files still load, and Save
+//	     stamps v3 whenever a state uses no v4 feature, so campaigns that
+//	     never engage the supervision plane emit byte-identical files.
+const Version = 4
 
 // minReadVersion is the oldest format Load still accepts. v2 single-shard
 // checkpoints are a strict subset of v3, so campaigns saved before sharding
@@ -82,6 +88,26 @@ type Crash struct {
 type CurvePoint struct {
 	Execs int `json:"execs"`
 	Edges int `json:"edges"`
+}
+
+// Incident is one entry of a supervised campaign's incident journal (v4): a
+// worker failure and how the supervisor resolved it. The journal is part of
+// the campaign's deterministic output — same seed, same incidents.
+type Incident struct {
+	// Epoch is the barrier-to-barrier interval the failure struck in.
+	Epoch int `json:"epoch"`
+	// Shard is the failed worker's index.
+	Shard int `json:"shard"`
+	// Kind classifies the failure (WORKER_PANIC, EPOCH_STALL,
+	// ORGANIC_PANIC).
+	Kind string `json:"kind"`
+	// Retries is the shard's cumulative retry tally after this incident.
+	Retries int `json:"retries"`
+	// Outcome records the supervisor's decision (RETRIED, QUARANTINED).
+	Outcome string `json:"outcome"`
+	// Detail carries deterministic context: the injected fault's
+	// coordinates, or an organic panic's normalized stack.
+	Detail string `json:"detail,omitempty"`
 }
 
 // State is the complete serializable campaign state. Statement types and
@@ -136,6 +162,38 @@ type State struct {
 	EpochStmts int      `json:"epoch_stmts,omitempty"`
 	Epoch      int      `json:"epoch,omitempty"`
 	Shards     []*State `json:"shards,omitempty"`
+
+	// Chaos plane and supervision (v4). ChaosRate/ChaosSeed identify the
+	// injected fault schedule the way Seed identifies the fuzzing schedule,
+	// and MaxEpochRetries is the per-shard retry budget — all three are
+	// campaign identity: resuming under different values would diverge
+	// silently, so Resume validates them. Incidents is the global journal
+	// of worker failures. On a shard entry, Quarantined marks a worker
+	// whose retry budget is exhausted (it holds its last-good state and no
+	// longer runs epochs) and Retries is its cumulative retry tally.
+	ChaosRate       float64    `json:"chaos_rate,omitempty"`
+	ChaosSeed       int64      `json:"chaos_seed,omitempty"`
+	MaxEpochRetries int        `json:"max_epoch_retries,omitempty"`
+	Incidents       []Incident `json:"incidents,omitempty"`
+	Quarantined     bool       `json:"quarantined,omitempty"`
+	Retries         int        `json:"retries,omitempty"`
+}
+
+// versionFor stamps the oldest format version whose readers understand
+// every feature st uses: states that never engaged the chaos/supervision
+// plane keep writing v3, so a supervised-but-uneventful campaign's files
+// stay byte-identical to pre-supervision builds.
+func versionFor(st *State) int {
+	if st.ChaosRate != 0 || st.ChaosSeed != 0 || st.MaxEpochRetries != 0 ||
+		len(st.Incidents) > 0 || st.Quarantined || st.Retries > 0 {
+		return Version
+	}
+	for _, sh := range st.Shards {
+		if sh.Quarantined || sh.Retries > 0 {
+			return Version
+		}
+	}
+	return 3
 }
 
 // envelope wraps the state with an integrity checksum so a torn or
@@ -151,14 +209,23 @@ func sum(b []byte) string {
 	return "sha256:" + hex.EncodeToString(h[:])
 }
 
-// Save writes the state to path atomically: the JSON envelope is written to
-// a temp file in the same directory and renamed over the target, so a crash
-// mid-write leaves either the old checkpoint or the new one, never a
-// truncated hybrid. An existing checkpoint is first rotated to
-// path+BackupSuffix, keeping a last-good generation that LoadWithFallback
-// can resume from if the primary is later corrupted on disk.
+// Save writes the state to path atomically on the real filesystem; see
+// SaveFS for the protocol.
 func Save(path string, st *State) error {
-	st.Version = Version
+	return SaveFS(OS, path, st)
+}
+
+// SaveFS writes the state to path atomically: the JSON envelope is written
+// to a temp file in the same directory, fsynced, and renamed over the
+// target, so a crash mid-write leaves either the old checkpoint or the new
+// one, never a truncated hybrid; the parent directory is then fsynced so a
+// crash immediately after Save cannot lose the rename itself. An existing
+// checkpoint is first rotated to path+BackupSuffix, keeping a last-good
+// generation that LoadWithFallback can resume from if the primary is later
+// corrupted on disk. fsys lets callers route the writes through a
+// fault-injecting filesystem (internal/chaos).
+func SaveFS(fsys FS, path string, st *State) error {
+	st.Version = versionFor(st)
 	payload, err := json.Marshal(st)
 	if err != nil {
 		return fmt.Errorf("checkpoint: marshal: %w", err)
@@ -168,34 +235,40 @@ func Save(path string, st *State) error {
 		return fmt.Errorf("checkpoint: marshal envelope: %w", err)
 	}
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("checkpoint: write: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("checkpoint: sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("checkpoint: close: %w", err)
 	}
 	// Rotate the previous generation before the rename lands. Best-effort:
 	// a missing previous checkpoint (first save) is the normal case, and a
 	// failed rotation must not block the fresh save.
-	if _, err := os.Stat(path); err == nil {
-		_ = os.Rename(path, path+BackupSuffix)
+	if _, err := fsys.Stat(path); err == nil {
+		_ = fsys.Rename(path, path+BackupSuffix)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	// The rename updated a directory entry, not file contents; without the
+	// directory fsync a crash here could forget the rename and resurrect
+	// the rotated generation — or, on a first save, leave nothing at all.
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,66 @@
+package checkpoint
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS abstracts the handful of filesystem operations Save performs, so the
+// file protocol can be exercised against injected I/O faults (ENOSPC, torn
+// temp writes, rename failures — see internal/chaos) without touching a real
+// disk's failure modes. Load stays on the real filesystem: fault injection
+// targets the write path, where a campaign can lose work.
+type FS interface {
+	// CreateTemp creates a new temporary file in dir, as os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// Stat names an existing file, as os.Stat.
+	Stat(name string) (fs.FileInfo, error)
+	// Rename atomically replaces newpath with oldpath, as os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file, as os.Remove.
+	Remove(name string) error
+	// SyncDir fsyncs a directory, flushing the directory entry updates made
+	// by Rename so a crash cannot forget a just-renamed file.
+	SyncDir(dir string) error
+}
+
+// File is the writable temp-file handle Save drives through its
+// write-sync-close-rename protocol.
+type File interface {
+	io.Writer
+	// Sync flushes the file contents to stable storage.
+	Sync() error
+	// Close closes the file.
+	Close() error
+	// Name returns the file's path.
+	Name() string
+}
+
+// OS is the real filesystem; Save(path, st) is SaveFS(OS, path, st).
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,125 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// recordingFS wraps OS and journals every protocol step SaveFS takes, so the
+// durability ordering — temp write, file fsync, close, rename, directory
+// fsync — is pinned by a test instead of trusted.
+type recordingFS struct {
+	inner   FS
+	ops     []string
+	syncErr error
+}
+
+func (r *recordingFS) CreateTemp(dir, pattern string) (File, error) {
+	r.ops = append(r.ops, "create-temp")
+	f, err := r.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &recordingFile{inner: f, fs: r}, nil
+}
+
+func (r *recordingFS) Stat(name string) (fs.FileInfo, error) {
+	r.ops = append(r.ops, "stat")
+	return r.inner.Stat(name)
+}
+
+func (r *recordingFS) Rename(oldpath, newpath string) error {
+	switch {
+	case strings.HasSuffix(newpath, BackupSuffix):
+		r.ops = append(r.ops, "rename-rotate")
+	case strings.Contains(oldpath, ".tmp-"):
+		r.ops = append(r.ops, "rename-final")
+	default:
+		r.ops = append(r.ops, fmt.Sprintf("rename(%s,%s)", oldpath, newpath))
+	}
+	return r.inner.Rename(oldpath, newpath)
+}
+
+func (r *recordingFS) Remove(name string) error {
+	r.ops = append(r.ops, "remove")
+	return r.inner.Remove(name)
+}
+
+func (r *recordingFS) SyncDir(dir string) error {
+	r.ops = append(r.ops, "sync-dir")
+	if r.syncErr != nil {
+		return r.syncErr
+	}
+	return r.inner.SyncDir(dir)
+}
+
+type recordingFile struct {
+	inner File
+	fs    *recordingFS
+}
+
+func (f *recordingFile) Write(p []byte) (int, error) {
+	f.fs.ops = append(f.fs.ops, "write")
+	return f.inner.Write(p)
+}
+
+func (f *recordingFile) Sync() error {
+	f.fs.ops = append(f.fs.ops, "sync-file")
+	return f.inner.Sync()
+}
+
+func (f *recordingFile) Close() error {
+	f.fs.ops = append(f.fs.ops, "close")
+	return f.inner.Close()
+}
+
+func (f *recordingFile) Name() string { return f.inner.Name() }
+
+// TestSaveFSProtocolOrder pins the write protocol: data must be durable in
+// the temp file before the rename makes it visible, and the parent directory
+// must be fsynced after the rename so the rename itself survives a crash.
+func TestSaveFSProtocolOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	rfs := &recordingFS{inner: OS}
+
+	if err := SaveFS(rfs, path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.Join(rfs.ops, " ")
+	want := "create-temp write sync-file close stat rename-final sync-dir"
+	if first != want {
+		t.Fatalf("first-save protocol:\n  got  %s\n  want %s", first, want)
+	}
+
+	// A second save must rotate the existing generation before the final
+	// rename, and still end with the directory fsync.
+	rfs.ops = nil
+	if err := SaveFS(rfs, path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	second := strings.Join(rfs.ops, " ")
+	want = "create-temp write sync-file close stat rename-rotate rename-final sync-dir"
+	if second != want {
+		t.Fatalf("overwrite protocol:\n  got  %s\n  want %s", second, want)
+	}
+}
+
+// TestSaveFSSurfacesSyncDirFailure: a failed directory fsync means the
+// rename may not be durable, and Save must say so rather than report success.
+func TestSaveFSSurfacesSyncDirFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	boom := errors.New("device gone")
+	rfs := &recordingFS{inner: OS, syncErr: boom}
+
+	err := SaveFS(rfs, path, sample())
+	if err == nil {
+		t.Fatal("SaveFS reported success despite a failed directory fsync")
+	}
+	if !strings.Contains(err.Error(), "sync dir") || !errors.Is(err, boom) {
+		t.Fatalf("error must name the directory fsync: %v", err)
+	}
+}

@@ -278,6 +278,39 @@ func ImportCrashes(d sqlt.Dialect, crashes []checkpoint.Crash) ([]*oracle.Crash,
 	return out, nil
 }
 
+// ExportIncidents and ImportIncidents convert a supervised campaign's
+// incident journal between its live and checkpoint forms.
+func ExportIncidents(incidents []harness.Incident) []checkpoint.Incident {
+	var out []checkpoint.Incident
+	for _, in := range incidents {
+		out = append(out, checkpoint.Incident{
+			Epoch:   in.Epoch,
+			Shard:   in.Shard,
+			Kind:    in.Kind,
+			Retries: in.Retries,
+			Outcome: in.Outcome,
+			Detail:  in.Detail,
+		})
+	}
+	return out
+}
+
+// ImportIncidents is ExportIncidents's inverse.
+func ImportIncidents(incidents []checkpoint.Incident) []harness.Incident {
+	var out []harness.Incident
+	for _, in := range incidents {
+		out = append(out, harness.Incident{
+			Epoch:   in.Epoch,
+			Shard:   in.Shard,
+			Kind:    in.Kind,
+			Retries: in.Retries,
+			Outcome: in.Outcome,
+			Detail:  in.Detail,
+		})
+	}
+	return out
+}
+
 // ExportCurve and ImportCurve convert the coverage-over-time curve between
 // its live and checkpoint forms.
 func ExportCurve(curve []harness.CurvePoint) []checkpoint.CurvePoint {

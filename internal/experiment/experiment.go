@@ -185,6 +185,50 @@ func RunShardedCampaign(d sqlt.Dialect, stmts int, seed int64, maxLen, workers, 
 	}
 }
 
+// ChaosStats summarizes how a supervised campaign's failure handling went:
+// the statements it actually executed (a quarantined shard forfeits its
+// residual budget), the incident journal size, and the degraded topology.
+type ChaosStats struct {
+	Stmts       int
+	Incidents   int
+	Quarantined int
+}
+
+// RunChaoticCampaign is RunShardedCampaign with the chaos plane armed:
+// injected worker panics and epoch stalls exercise the supervisor's
+// retry-from-barrier-snapshot path while the campaign runs. Like its
+// fault-free sibling, the result — incident journal included — is a pure
+// function of the arguments.
+func RunChaoticCampaign(d sqlt.Dialect, stmts int, seed int64, maxLen, workers, epochStmts int, chaosRate float64, chaosSeed int64) (CampaignResult, ChaosStats) {
+	s := campaignSeed(seed, FuzzerLEGO, d)
+	e := shard.New(shard.Options{
+		Core:       core.Options{Dialect: d, Seed: s, Hazards: true, MaxLen: maxLen},
+		Workers:    workers,
+		EpochStmts: epochStmts,
+		ChaosRate:  chaosRate,
+		ChaosSeed:  chaosSeed,
+	})
+	if _, err := e.Run(stmts, shard.RunOptions{}); err != nil {
+		// Run can only fail through a Save hook, and none is installed.
+		panic(err)
+	}
+	res := CampaignResult{
+		Fuzzer:               FuzzerLEGO,
+		Dialect:              d,
+		Execs:                e.Execs(),
+		Branches:             e.Branches(),
+		GenAffinities:        e.GenAffinities(),
+		DiscoveredAffinities: e.Affinities(),
+		Crashes:              e.Oracle().Crashes(),
+		Curve:                e.Curve(),
+	}
+	return res, ChaosStats{
+		Stmts:       e.Stmts(),
+		Incidents:   len(e.Incidents()),
+		Quarantined: len(e.QuarantinedShards()),
+	}
+}
+
 // --- formatting helpers ------------------------------------------------
 
 func formatTable(header []string, rows [][]string) string {

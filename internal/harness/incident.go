@@ -1,0 +1,55 @@
+package harness
+
+import "github.com/seqfuzz/lego/internal/minidb"
+
+// Incident kinds: what felled the worker.
+const (
+	// IncidentWorkerPanic is a chaos-injected worker panic.
+	IncidentWorkerPanic = "WORKER_PANIC"
+	// IncidentEpochStall is a chaos-injected stall: the worker stopped making
+	// progress mid-epoch and the supervisor's step watchdog aborted it at the
+	// barrier.
+	IncidentEpochStall = "EPOCH_STALL"
+	// IncidentOrganicPanic is a real panic that escaped a worker — a harness
+	// bug, not an injected fault — contained by the supervisor's recover.
+	IncidentOrganicPanic = "ORGANIC_PANIC"
+)
+
+// Incident outcomes: what the supervisor did about it.
+const (
+	// IncidentRetried: the shard was restored to its last barrier snapshot
+	// and deterministically re-ran the epoch.
+	IncidentRetried = "RETRIED"
+	// IncidentQuarantined: the shard's retry budget is exhausted; it holds
+	// its last-good state and the campaign degrades to fewer workers.
+	IncidentQuarantined = "QUARANTINED"
+)
+
+// Incident is one entry of a supervised campaign's incident journal: a
+// worker failure and the supervisor's resolution. Incidents are part of the
+// campaign's deterministic output — same seed and chaos schedule, same
+// journal — which is what makes the supervision machinery testable at all.
+type Incident struct {
+	// Epoch is the barrier-to-barrier interval the failure struck in.
+	Epoch int
+	// Shard is the failed worker's index.
+	Shard int
+	// Kind classifies the failure (the Incident* kind constants).
+	Kind string
+	// Retries is the shard's cumulative retry tally after this incident.
+	Retries int
+	// Outcome records the supervisor's decision (the Incident* outcome
+	// constants).
+	Outcome string
+	// Detail carries deterministic context: an injected fault's coordinates,
+	// or an organic panic's normalized stack.
+	Detail string
+}
+
+// NormalizeStack reduces a runtime.Stack capture to deterministic bare frame
+// names — no addresses, offsets, or line numbers — so panics recovered at
+// the campaign layer journal and deduplicate the same way the engine's
+// organic crash reports do.
+func NormalizeStack(rawStack []byte) []string {
+	return minidb.NormalizeStack(rawStack)
+}

@@ -5,21 +5,28 @@ import (
 
 	"github.com/seqfuzz/lego/internal/checkpoint"
 	"github.com/seqfuzz/lego/internal/core"
-	"github.com/seqfuzz/lego/internal/coverage"
-	"github.com/seqfuzz/lego/internal/oracle"
 )
 
-// Snapshot captures the whole sharded campaign as a checkpoint v3 state:
-// one complete per-worker state per shard (in shard-index order) plus the
+// Snapshot captures the whole sharded campaign as a checkpoint state: one
+// complete per-worker state per shard (in shard-index order) plus the
 // merged global view at the top level. Snapshots are only taken at epoch
 // barriers, so the nested shard states are exactly the states an
 // uninterrupted campaign passes through.
+//
+// The supervision fields are written only when used — chaos identity only
+// when the chaos plane is armed, the retry budget only when it matters for
+// resume identity — so an unsupervised campaign's snapshot stays a clean v3
+// state, byte-identical to pre-supervision builds (checkpoint.Save stamps
+// the matching version).
 func (e *Executor) Snapshot() *checkpoint.State {
 	shards := make([]*checkpoint.State, len(e.shards))
 	for i, sh := range e.shards {
-		shards[i] = sh.Snapshot()
+		ss := sh.Snapshot()
+		ss.Quarantined = e.quarantined[i]
+		ss.Retries = e.retries[i]
+		shards[i] = ss
 	}
-	return &checkpoint.State{
+	st := &checkpoint.State{
 		// Campaign identity comes from shard 0 (all shards agree on
 		// everything but the RNG stream, which each nested state carries).
 		Dialect: shards[0].Dialect,
@@ -39,7 +46,19 @@ func (e *Executor) Snapshot() *checkpoint.State {
 		EpochStmts: e.opts.EpochStmts,
 		Epoch:      e.epoch,
 		Shards:     shards,
+
+		Incidents: core.ExportIncidents(e.incidents),
 	}
+	if e.opts.ChaosRate != 0 {
+		st.ChaosRate = e.opts.ChaosRate
+		st.ChaosSeed = e.opts.ChaosSeed
+	}
+	if e.opts.ChaosRate != 0 || len(e.incidents) > 0 {
+		// The retry budget shapes the schedule only once failures exist (or
+		// can exist); record it exactly then, so Resume can insist on it.
+		st.MaxEpochRetries = e.opts.MaxEpochRetries
+	}
+	return st
 }
 
 // Resume rebuilds a sharded campaign from a checkpoint. The topology
@@ -61,13 +80,24 @@ func Resume(opts Options, st *checkpoint.State) (*Executor, error) {
 	if st.Workers != 0 && st.EpochStmts != opts.EpochStmts {
 		return nil, fmt.Errorf("shard: resume: checkpoint epoch budget is %d statements, options request %d", st.EpochStmts, opts.EpochStmts)
 	}
-
-	e := &Executor{
-		opts:   opts,
-		global: coverage.NewMap(),
-		oracle: oracle.New(),
-		epoch:  st.Epoch,
+	// The chaos identity is campaign identity: the fault schedule shapes the
+	// incident journal and, through retries, every shard's RNG consumption,
+	// so resuming under a different schedule would silently diverge.
+	if st.ChaosRate != opts.ChaosRate {
+		return nil, fmt.Errorf("shard: resume: checkpoint chaos rate is %v, options request %v", st.ChaosRate, opts.ChaosRate)
 	}
+	if st.ChaosRate != 0 && st.ChaosSeed != opts.ChaosSeed {
+		return nil, fmt.Errorf("shard: resume: checkpoint chaos seed is %d, options request %d", st.ChaosSeed, opts.ChaosSeed)
+	}
+	if st.MaxEpochRetries != 0 && st.MaxEpochRetries != opts.MaxEpochRetries {
+		return nil, fmt.Errorf("shard: resume: checkpoint retry budget is %d epochs, options request %d", st.MaxEpochRetries, opts.MaxEpochRetries)
+	}
+
+	e := newExecutor(opts)
+	e.epoch = st.Epoch
+	e.retries = make([]int, opts.Workers)
+	e.quarantined = make([]bool, opts.Workers)
+	e.incidents = core.ImportIncidents(st.Incidents)
 	if len(st.Shards) == 0 {
 		// Single-shard: the worker state lives at the top level. Fast-forward
 		// the epoch counter past the statements already executed so the
@@ -80,15 +110,17 @@ func Resume(opts Options, st *checkpoint.State) (*Executor, error) {
 		if st.Workers == 0 {
 			e.epoch = st.Stmts / opts.EpochStmts
 		}
+		e.quarantined[0] = st.Quarantined
+		e.retries[0] = st.Retries
 	} else {
 		for i, ss := range st.Shards {
-			co := opts.Core
-			co.Seed += int64(i)
-			f, err := core.Resume(co, ss)
+			f, err := core.Resume(e.coreOpts(i), ss)
 			if err != nil {
 				return nil, fmt.Errorf("shard: resume shard %d: %w", i, err)
 			}
 			e.shards = append(e.shards, f)
+			e.quarantined[i] = ss.Quarantined
+			e.retries[i] = ss.Retries
 		}
 	}
 
@@ -116,5 +148,8 @@ func Resume(opts Options, st *checkpoint.State) (*Executor, error) {
 		}
 	}
 	e.curve = core.ImportCurve(st.Curve)
+	// The restored states are barrier states: they are also the snapshots a
+	// failed first post-resume epoch would re-run from.
+	e.refreshSnaps()
 	return e, nil
 }

@@ -35,9 +35,10 @@
 package shard
 
 import (
-	"sync"
+	"errors"
 
 	"github.com/seqfuzz/lego/internal/affinity"
+	"github.com/seqfuzz/lego/internal/chaos"
 	"github.com/seqfuzz/lego/internal/checkpoint"
 	"github.com/seqfuzz/lego/internal/core"
 	"github.com/seqfuzz/lego/internal/corpus"
@@ -54,6 +55,11 @@ import (
 // (O(map size + deltas) per shard) stays far below epoch cost.
 const DefaultEpochStmts = 2000
 
+// DefaultMaxEpochRetries is the per-shard cumulative retry budget when
+// Options.MaxEpochRetries is zero: how many epoch re-runs a shard is granted
+// across the whole campaign before a further failure quarantines it.
+const DefaultMaxEpochRetries = 3
+
 // Options configures a sharded campaign.
 type Options struct {
 	// Core is the per-shard fuzzer configuration. Core.Seed is the base
@@ -65,6 +71,20 @@ type Options struct {
 	// (default DefaultEpochStmts). Together with Workers it is part of the
 	// campaign's identity: changing it moves every barrier.
 	EpochStmts int
+
+	// ChaosRate arms the deterministic chaos plane: each supervised-failure
+	// decision — worker panic, epoch stall, checkpoint I/O fault — fires
+	// with this probability (see internal/chaos). Zero disables injection
+	// entirely, leaving the campaign byte-identical to an unsupervised one.
+	ChaosRate float64
+	// ChaosSeed selects the fault schedule; it defaults to Core.Seed so a
+	// reseeded campaign reseeds its chaos too. Like Core.Seed it is campaign
+	// identity: resuming under a different schedule would diverge.
+	ChaosSeed int64
+	// MaxEpochRetries is the cumulative per-shard retry budget, counted in
+	// epoch re-runs (default DefaultMaxEpochRetries; negative means zero,
+	// quarantining a shard on its first failure).
+	MaxEpochRetries int
 }
 
 func (o *Options) fill() {
@@ -78,6 +98,15 @@ func (o *Options) fill() {
 	// normalize before deriving per-shard seeds.
 	if o.Core.Seed == 0 {
 		o.Core.Seed = 1
+	}
+	if o.ChaosSeed == 0 {
+		o.ChaosSeed = o.Core.Seed
+	}
+	if o.MaxEpochRetries == 0 {
+		o.MaxEpochRetries = DefaultMaxEpochRetries
+	}
+	if o.MaxEpochRetries < 0 {
+		o.MaxEpochRetries = 0
 	}
 }
 
@@ -98,6 +127,26 @@ type Executor struct {
 	// poolMark[i] is shard i's pool size at the last barrier; everything
 	// after it is the delta donated to peers at the next one.
 	poolMark []int
+
+	// Supervision plane (see supervise.go). snaps[i] is shard i's state at
+	// the last merge barrier — the point a failed epoch re-runs from.
+	// retries[i] counts epoch re-runs spent against MaxEpochRetries, and
+	// quarantined[i] marks a shard whose budget is exhausted: it holds its
+	// last-good state (already merged at a prior barrier) and no longer runs
+	// epochs. incidents is the campaign's failure journal, and chaos/fs the
+	// injected-fault schedule and the (possibly fault-injecting) filesystem
+	// checkpoint saves should route through.
+	snaps       []*checkpoint.State
+	retries     []int
+	quarantined []bool
+	incidents   []harness.Incident
+	chaos       *chaos.Injector
+	fs          checkpoint.FS
+	saveFaults  int
+	// testFault, when set, runs on the worker goroutine at the start of each
+	// (epoch, shard, attempt) — a test hook for raising organic panics at a
+	// chosen coordinate.
+	testFault func(epoch, shard, attempt int)
 }
 
 // New builds a sharded campaign executor. Every shard ingests the initial
@@ -106,22 +155,42 @@ type Executor struct {
 // into the global coverage map.
 func New(opts Options) *Executor {
 	opts.fill()
-	e := &Executor{
-		opts:   opts,
-		global: coverage.NewMap(),
-		oracle: oracle.New(),
-	}
+	e := newExecutor(opts)
 	for i := 0; i < opts.Workers; i++ {
-		co := opts.Core
-		co.Seed += int64(i)
-		e.shards = append(e.shards, core.New(co))
+		e.shards = append(e.shards, core.New(e.coreOpts(i)))
 	}
 	e.poolMark = make([]int, opts.Workers)
 	for i, sh := range e.shards {
 		e.poolMark[i] = sh.Pool().Len()
 	}
+	e.retries = make([]int, opts.Workers)
+	e.quarantined = make([]bool, opts.Workers)
 	e.mergeBarrier()
 	return e
+}
+
+// newExecutor wires the shard-independent parts shared by New and Resume.
+// opts must already be filled.
+func newExecutor(opts Options) *Executor {
+	e := &Executor{
+		opts:   opts,
+		global: coverage.NewMap(),
+		oracle: oracle.New(),
+		fs:     checkpoint.OS,
+	}
+	if opts.ChaosRate != 0 {
+		e.chaos = chaos.New(opts.ChaosRate, opts.ChaosSeed)
+		e.fs = chaos.NewFS(e.chaos, checkpoint.OS)
+	}
+	return e
+}
+
+// coreOpts derives shard i's fuzzer configuration: the shared core options
+// on the Seed+i RNG stream.
+func (e *Executor) coreOpts(i int) core.Options {
+	co := e.opts.Core
+	co.Seed += int64(i)
+	return co
 }
 
 // RunOptions configures one Run leg, mirroring core.RunOptions at epoch
@@ -165,7 +234,7 @@ func (e *Executor) Run(budgetStmts int, opts RunOptions) (interrupted bool, err 
 		e.epoch++
 		e.mergeBarrier()
 		if opts.Save != nil && opts.EveryExecs > 0 && e.Execs()-lastSaved >= opts.EveryExecs {
-			if err := opts.Save(e.Snapshot()); err != nil {
+			if err := e.save(opts.Save); err != nil {
 				return false, err
 			}
 			lastSaved = e.Execs()
@@ -173,11 +242,28 @@ func (e *Executor) Run(budgetStmts int, opts RunOptions) (interrupted bool, err 
 	}
 	interrupted = !e.done(targets) && stopped()
 	if opts.Save != nil {
-		if err := opts.Save(e.Snapshot()); err != nil {
+		if err := e.save(opts.Save); err != nil {
 			return interrupted, err
 		}
 	}
 	return interrupted, nil
+}
+
+// save runs one checkpoint save, absorbing chaos-injected I/O faults: a
+// scheduled fault means the disk ate this generation (the previous one is
+// still on disk for LoadWithFallback), not that the campaign is broken, so
+// the campaign continues and only the fault tally grows. A chaotic
+// filesystem changes what lands on disk, never what the campaign computes.
+// Real save errors still abort the leg.
+func (e *Executor) save(save func(*checkpoint.State) error) error {
+	if err := save(e.Snapshot()); err != nil {
+		if errors.Is(err, chaos.ErrInjected) {
+			e.saveFaults++
+			return nil
+		}
+		return err
+	}
+	return nil
 }
 
 // targets splits the total statement budget into per-shard absolute
@@ -196,8 +282,15 @@ func (e *Executor) targets(budgetStmts int) []int {
 	return out
 }
 
+// done reports whether every shard that can still run has consumed its
+// budget slice. Quarantined shards are excluded — they can never reach
+// their target — so a degraded campaign still completes; with every shard
+// quarantined the campaign ends immediately with whatever it has.
 func (e *Executor) done(targets []int) bool {
 	for i, sh := range e.shards {
+		if e.quarantined[i] {
+			continue
+		}
 		if sh.Runner().Stmts < targets[i] {
 			return false
 		}
@@ -205,47 +298,32 @@ func (e *Executor) done(targets []int) bool {
 	return true
 }
 
-// runEpoch runs every unfinished shard concurrently up to the next epoch
-// boundary. This is the only place the executor spawns goroutines; the
-// WaitGroup barrier below is the campaign's entire synchronization surface.
-func (e *Executor) runEpoch(targets []int) {
-	end := (e.epoch + 1) * e.opts.EpochStmts
-	var wg sync.WaitGroup
-	for i, sh := range e.shards {
-		budget := targets[i]
-		if end < budget {
-			budget = end
-		}
-		if sh.Runner().Stmts >= budget {
-			continue
-		}
-		wg.Add(1)
-		go func(sh *core.Fuzzer, budget int) {
-			defer wg.Done()
-			// No save, no stop: checkpointing and shutdown are barrier-level
-			// concerns. RunWithOptions can only fail through Save.
-			_, _, _ = sh.RunWithOptions(budget, core.RunOptions{})
-		}(sh, budget)
-	}
-	wg.Wait()
-}
-
 // mergeBarrier merges all shards in fixed shard-index order. It runs on the
 // coordinator goroutine while every shard is parked, so the merged state —
 // and through cross-pollination, every shard's next-epoch schedule — is a
 // pure function of the shards' states, independent of how the epoch's
 // goroutines were scheduled.
+//
+// Quarantined shards participate read-only: their last-good coverage and
+// crashes stay folded into the global view (they were earned), but they
+// neither donate new material — they have none, their state is frozen at a
+// barrier whose deltas were already distributed — nor receive any, so their
+// frozen state stays exactly the snapshot a resumed campaign restores.
 func (e *Executor) mergeBarrier() {
 	n := len(e.shards)
+	active := func(i int) bool { return !e.quarantined[i] }
 
 	// Coverage: fold every shard into the global virgin map, then the
-	// global map back into every shard, leaving all workers with identical
-	// coverage state — the OR-fold of everything any worker has seen.
+	// global map back into every active shard, leaving all running workers
+	// with identical coverage state — the OR-fold of everything any worker
+	// has seen.
 	for _, sh := range e.shards {
 		e.global.Merge(sh.Runner().Cov)
 	}
-	for _, sh := range e.shards {
-		sh.Runner().Cov.Merge(e.global)
+	for i, sh := range e.shards {
+		if active(i) {
+			sh.Runner().Cov.Merge(e.global)
+		}
 	}
 
 	// Seeds: capture every shard's epoch delta before any adoption, so a
@@ -256,6 +334,9 @@ func (e *Executor) mergeBarrier() {
 		deltas[i] = sh.Pool().Since(e.poolMark[i])
 	}
 	for recv := 0; recv < n; recv++ {
+		if !active(recv) {
+			continue
+		}
 		for donor := 0; donor < n; donor++ {
 			if donor == recv {
 				continue
@@ -273,6 +354,9 @@ func (e *Executor) mergeBarrier() {
 	// a receiver enter its synthesis queue. Transitive adoption within one
 	// barrier is harmless — the union converges and Add deduplicates.
 	for recv := 0; recv < n; recv++ {
+		if !active(recv) {
+			continue
+		}
 		for donor := 0; donor < n; donor++ {
 			if donor != recv {
 				e.shards[recv].AdoptAffinities(e.shards[donor].AffinityMap())
@@ -288,6 +372,9 @@ func (e *Executor) mergeBarrier() {
 		crashes[i] = sh.Runner().Oracle.Crashes()
 	}
 	for recv := 0; recv < n; recv++ {
+		if !active(recv) {
+			continue
+		}
 		for donor := 0; donor < n; donor++ {
 			if donor == recv {
 				continue
@@ -307,6 +394,9 @@ func (e *Executor) mergeBarrier() {
 	if ex := e.Execs(); len(e.curve) == 0 || e.curve[len(e.curve)-1].Execs != ex {
 		e.curve = append(e.curve, harness.CurvePoint{Execs: ex, Edges: e.global.EdgeCount()})
 	}
+
+	// The post-merge states are what a failed next epoch re-runs from.
+	e.refreshSnaps()
 }
 
 // Triage runs the crash triage pipeline over the merged global oracle on a
@@ -383,7 +473,50 @@ func (e *Executor) GenAffinities() int {
 	return m.Count()
 }
 
-// PoolLen returns the merged seed-pool size. Post-barrier every shard's
-// pool holds the same seed set (its own plus every peer's), so shard 0
-// speaks for the campaign.
-func (e *Executor) PoolLen() int { return e.shards[0].Pool().Len() }
+// PoolLen returns the merged seed-pool size. Post-barrier every active
+// shard's pool holds the same seed set (its own plus every peer's), so the
+// first active shard speaks for the campaign; a quarantined shard's pool is
+// frozen at its last-good barrier and may lag.
+func (e *Executor) PoolLen() int {
+	for i, sh := range e.shards {
+		if !e.quarantined[i] {
+			return sh.Pool().Len()
+		}
+	}
+	return e.shards[0].Pool().Len()
+}
+
+// Incidents returns the campaign's failure journal in occurrence order.
+func (e *Executor) Incidents() []harness.Incident { return e.incidents }
+
+// QuarantinedShards returns the indices of quarantined shards in order.
+func (e *Executor) QuarantinedShards() []int {
+	var out []int
+	for i, q := range e.quarantined {
+		if q {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ActiveWorkers returns how many shards are still running epochs — the
+// campaign's degraded topology after quarantines.
+func (e *Executor) ActiveWorkers() int {
+	n := 0
+	for _, q := range e.quarantined {
+		if !q {
+			n++
+		}
+	}
+	return n
+}
+
+// SaveFaults returns how many checkpoint saves were eaten by injected I/O
+// faults (and skipped) during Run legs.
+func (e *Executor) SaveFaults() int { return e.saveFaults }
+
+// FS returns the filesystem checkpoint saves should be routed through: the
+// chaos fault-injecting layer when the chaos plane is armed, the real
+// filesystem otherwise.
+func (e *Executor) FS() checkpoint.FS { return e.fs }

@@ -23,8 +23,10 @@
 package lego
 
 import (
+	"errors"
 	"fmt"
 
+	"github.com/seqfuzz/lego/internal/chaos"
 	"github.com/seqfuzz/lego/internal/checkpoint"
 	"github.com/seqfuzz/lego/internal/core"
 	"github.com/seqfuzz/lego/internal/harness"
@@ -98,6 +100,23 @@ type Config struct {
 	// identity: a checkpoint only resumes under the same value. Ignored
 	// when Workers <= 1.
 	EpochStmts int
+	// ChaosRate arms the deterministic chaos plane on the supervised
+	// (sharded) path: worker panics, epoch stalls, and checkpoint I/O
+	// faults are injected with this per-decision probability, on a schedule
+	// that is a pure function of (ChaosRate, ChaosSeed). Failed epochs are
+	// retried from the last barrier snapshot; shards that exhaust
+	// MaxEpochRetries are quarantined and the campaign degrades gracefully.
+	// Setting ChaosRate forces the supervised executor even with one
+	// worker. Zero (the default) injects nothing and leaves reports and
+	// checkpoints byte-identical to an unsupervised session.
+	ChaosRate float64
+	// ChaosSeed selects the fault schedule (default: Seed). Like Seed it is
+	// campaign identity: a chaotic checkpoint only resumes under the same
+	// schedule.
+	ChaosSeed int64
+	// MaxEpochRetries is the cumulative per-shard retry budget in epoch
+	// re-runs (default 3; negative means quarantine on first failure).
+	MaxEpochRetries int
 }
 
 // Bug describes one deduplicated crash.
@@ -151,6 +170,39 @@ type Report struct {
 	Interrupted bool
 	// Bugs lists the unique crashes found, in discovery order.
 	Bugs []Bug
+
+	// Workers is the campaign's starting worker topology (1 on the
+	// single-threaded path).
+	Workers int
+	// Quarantined lists the shards whose retry budget was exhausted; the
+	// campaign finished degraded to Workers-len(Quarantined) workers.
+	Quarantined []int
+	// Incidents is the supervised campaign's failure journal: every worker
+	// failure (injected or organic) and how the supervisor resolved it, in
+	// occurrence order. Deterministic for a fixed (Config, ChaosRate,
+	// ChaosSeed).
+	Incidents []Incident
+	// SaveFaults counts checkpoint saves eaten by injected I/O faults (the
+	// campaign skipped them and kept running; the previous generation
+	// remained on disk).
+	SaveFaults int
+}
+
+// Incident is one entry of a supervised campaign's failure journal.
+type Incident struct {
+	// Epoch is the barrier interval the failure struck in; Shard the failed
+	// worker.
+	Epoch, Shard int
+	// Kind classifies the failure: WORKER_PANIC or EPOCH_STALL (injected by
+	// the chaos plane), or ORGANIC_PANIC (a real panic the supervisor
+	// contained).
+	Kind string
+	// Retries is the shard's cumulative retry tally after this incident;
+	// Outcome is RETRIED or QUARANTINED.
+	Retries int
+	Outcome string
+	// Detail carries the fault's coordinates or the normalized panic stack.
+	Detail string
 }
 
 // Fuzzer is a LEGO fuzzing session against one target. Exactly one of
@@ -181,12 +233,21 @@ func (cfg Config) options() core.Options {
 }
 
 func (cfg Config) shardOptions() shard.Options {
-	return shard.Options{Core: cfg.options(), Workers: cfg.Workers, EpochStmts: cfg.EpochStmts}
+	return shard.Options{
+		Core:            cfg.options(),
+		Workers:         cfg.Workers,
+		EpochStmts:      cfg.EpochStmts,
+		ChaosRate:       cfg.ChaosRate,
+		ChaosSeed:       cfg.ChaosSeed,
+		MaxEpochRetries: cfg.MaxEpochRetries,
+	}
 }
 
-// NewFuzzer builds a fuzzing session.
+// NewFuzzer builds a fuzzing session. Parallel campaigns (Workers > 1) and
+// chaotic ones (ChaosRate > 0, any worker count) run on the supervised
+// sharded executor; everything else uses the single-threaded path.
 func NewFuzzer(cfg Config) *Fuzzer {
-	if cfg.Workers > 1 {
+	if cfg.Workers > 1 || cfg.ChaosRate > 0 {
 		return &Fuzzer{sharded: shard.New(cfg.shardOptions()), cfg: cfg}
 	}
 	return &Fuzzer{inner: core.New(cfg.options()), cfg: cfg}
@@ -205,9 +266,11 @@ func ResumeFuzzer(cfg Config, path string) (*Fuzzer, error) {
 		return nil, err
 	}
 	// A sharded checkpoint (or a sharded config) routes through the
-	// executor, which validates that the topology matches; a single-shard
+	// executor, which validates that the topology matches; a chaotic
+	// checkpoint (or config) does too, whatever its worker count, since only
+	// the supervised executor can replay its fault schedule. A single-shard
 	// checkpoint under Workers <= 1 stays on the single-threaded path.
-	if cfg.Workers > 1 || st.Workers > 1 {
+	if cfg.Workers > 1 || st.Workers > 1 || cfg.ChaosRate > 0 || st.ChaosRate != 0 {
 		ex, err := shard.Resume(cfg.shardOptions(), st)
 		if err != nil {
 			return nil, err
@@ -267,13 +330,17 @@ func (f *Fuzzer) FuzzWithCheckpoint(budgetStmts int, path string, everyExecs int
 // after the loop ends (completed or interrupted) and the checkpoint is
 // re-flushed so the triage results persist.
 func (f *Fuzzer) FuzzWithOptions(budgetStmts int, opts FuzzOptions) (Report, error) {
-	var save func(*checkpoint.State) error
-	if opts.CheckpointPath != "" {
-		save = func(st *checkpoint.State) error {
-			return checkpoint.Save(opts.CheckpointPath, st)
-		}
-	}
 	if f.sharded != nil {
+		// Sharded saves route through the executor's filesystem, so an armed
+		// chaos plane can inject checkpoint I/O faults; the executor skips
+		// eaten saves (the previous generation stays on disk) and real disk
+		// errors still abort.
+		var save func(*checkpoint.State) error
+		if opts.CheckpointPath != "" {
+			save = func(st *checkpoint.State) error {
+				return checkpoint.SaveFS(f.sharded.FS(), opts.CheckpointPath, st)
+			}
+		}
 		interrupted, err := f.sharded.Run(budgetStmts, shard.RunOptions{
 			EveryExecs: opts.CheckpointEvery,
 			Save:       save,
@@ -282,12 +349,20 @@ func (f *Fuzzer) FuzzWithOptions(budgetStmts int, opts FuzzOptions) (Report, err
 		if err == nil && f.cfg.Triage {
 			f.sharded.Triage(triage.Config{Replays: f.cfg.TriageReplays, Budget: f.cfg.TriageBudget})
 			if save != nil {
-				err = save(f.sharded.Snapshot())
+				if serr := save(f.sharded.Snapshot()); serr != nil && !errors.Is(serr, chaos.ErrInjected) {
+					err = serr
+				}
 			}
 		}
 		rep := f.shardedReport()
 		rep.Interrupted = interrupted
 		return rep, err
+	}
+	var save func(*checkpoint.State) error
+	if opts.CheckpointPath != "" {
+		save = func(st *checkpoint.State) error {
+			return checkpoint.Save(opts.CheckpointPath, st)
+		}
 	}
 	runner, interrupted, err := f.inner.RunWithOptions(budgetStmts, core.RunOptions{
 		EveryExecs: opts.CheckpointEvery,
@@ -314,12 +389,25 @@ func (f *Fuzzer) report(runner *harness.Runner) Report {
 		SeedPool:     f.inner.Pool().Len(),
 		EnginePanics: runner.EnginePanics,
 		Bugs:         bugsFrom(runner.Oracle.Crashes()),
+		Workers:      1,
 	}
 }
 
 // shardedReport summarizes a sharded campaign from its merged global view:
-// totals across shards, the OR-folded coverage, and the global oracle.
+// totals across shards, the OR-folded coverage, the global oracle, and the
+// supervision plane's journal and degradation record.
 func (f *Fuzzer) shardedReport() Report {
+	var incidents []Incident
+	for _, in := range f.sharded.Incidents() {
+		incidents = append(incidents, Incident{
+			Epoch:   in.Epoch,
+			Shard:   in.Shard,
+			Kind:    in.Kind,
+			Retries: in.Retries,
+			Outcome: in.Outcome,
+			Detail:  in.Detail,
+		})
+	}
 	return Report{
 		Executions:   f.sharded.Execs(),
 		Statements:   f.sharded.Stmts(),
@@ -328,6 +416,10 @@ func (f *Fuzzer) shardedReport() Report {
 		SeedPool:     f.sharded.PoolLen(),
 		EnginePanics: f.sharded.EnginePanics(),
 		Bugs:         bugsFrom(f.sharded.Oracle().Crashes()),
+		Workers:      f.sharded.Workers(),
+		Quarantined:  f.sharded.QuarantinedShards(),
+		Incidents:    incidents,
+		SaveFaults:   f.sharded.SaveFaults(),
 	}
 }
 

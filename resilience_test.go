@@ -3,6 +3,7 @@ package lego_test
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -193,6 +194,95 @@ func TestFacadeResumeFallsBackToBackup(t *testing.T) {
 	rep := resumed.Fuzz(8000)
 	if rep.Statements < 8000 {
 		t.Fatalf("resumed campaign ran only %d statements", rep.Statements)
+	}
+}
+
+// TestFacadeChaosCampaign drives the chaos plane through the public API: a
+// supervised campaign under a fixed (ChaosRate, ChaosSeed) must complete,
+// journal its incidents in the report, and produce the exact same report —
+// incidents included — when run again.
+func TestFacadeChaosCampaign(t *testing.T) {
+	cfg := lego.Config{
+		Target:     lego.MariaDB,
+		Seed:       21,
+		Workers:    3,
+		EpochStmts: 500,
+		ChaosRate:  0.08,
+		ChaosSeed:  7,
+	}
+	// A chaotic campaign may quarantine a shard and finish below budget —
+	// that is the documented degradation, not a failure — but it must make
+	// real progress.
+	run := func() lego.Report {
+		rep := lego.NewFuzzer(cfg).Fuzz(12000)
+		if rep.Statements < 6000 {
+			t.Fatalf("chaotic campaign ran only %d statements", rep.Statements)
+		}
+		return rep
+	}
+	repA := run()
+	repB := run()
+
+	if repA.Workers != 3 {
+		t.Fatalf("report claims %d workers, config asked for 3", repA.Workers)
+	}
+	if len(repA.Incidents) == 0 {
+		t.Fatal("chaos at rate 0.08 over 24 shard-epochs injected nothing; the plane is not armed")
+	}
+	if !reflect.DeepEqual(repA, repB) {
+		t.Fatalf("chaotic campaign is not deterministic:\nA: %+v\nB: %+v", repA, repB)
+	}
+	for _, in := range repA.Incidents {
+		if in.Kind == "" || in.Outcome == "" || in.Detail == "" {
+			t.Fatalf("incomplete incident record: %+v", in)
+		}
+	}
+}
+
+// TestFacadeChaosQuarantineDegrades: with every epoch failing and the retry
+// budget at its floor, all shards quarantine — and the public API still
+// returns a completed report describing the degraded topology instead of an
+// error.
+func TestFacadeChaosQuarantineDegrades(t *testing.T) {
+	rep := lego.NewFuzzer(lego.Config{
+		Target:          lego.MariaDB,
+		Seed:            5,
+		Workers:         2,
+		EpochStmts:      400,
+		ChaosRate:       1,
+		ChaosSeed:       3,
+		MaxEpochRetries: -1, // quarantine on first failure
+	}).Fuzz(8000)
+
+	if len(rep.Quarantined) != 2 {
+		t.Fatalf("rate-1 chaos with no retries must quarantine both shards, got %v", rep.Quarantined)
+	}
+	if rep.Workers != 2 {
+		t.Fatalf("report must keep the starting topology, got %d workers", rep.Workers)
+	}
+	for _, in := range rep.Incidents {
+		if in.Outcome != "QUARANTINED" {
+			t.Fatalf("no-retry campaign journaled a non-quarantine outcome: %+v", in)
+		}
+	}
+}
+
+// TestFacadeChaosSingleWorkerSupervised: ChaosRate > 0 with Workers == 1 must
+// route through the supervised executor — a single-worker campaign gets the
+// same recovery machinery, not a silent fall-through to the bare fuzzer.
+func TestFacadeChaosSingleWorkerSupervised(t *testing.T) {
+	rep := lego.NewFuzzer(lego.Config{
+		Target:     lego.MySQL,
+		Seed:       9,
+		EpochStmts: 300,
+		ChaosRate:  0.2,
+		ChaosSeed:  4,
+	}).Fuzz(6000)
+	if rep.Workers != 1 {
+		t.Fatalf("single-worker chaos campaign reports %d workers", rep.Workers)
+	}
+	if len(rep.Incidents) == 0 {
+		t.Fatal("rate-0.2 chaos over 20 epochs injected nothing on the single-worker path")
 	}
 }
 
