@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fmtcheck test test-short bench benchall fmt examples clean ci smoke race-shard chaos
+.PHONY: all build vet lint fmtcheck test test-short bench benchall fmt examples clean ci smoke race-shard chaos perfgate profile
 
 all: build vet lint test
 
@@ -16,6 +16,7 @@ ci:
 	$(MAKE) race-shard
 	$(MAKE) smoke
 	$(MAKE) chaos
+	$(MAKE) perfgate
 
 # The sharded executor's schedule-independence gate, named so its failure is
 # unambiguous: the determinism claims of internal/shard are only credible
@@ -74,6 +75,27 @@ bench:
 # Regenerate every table/figure at full scale (a few minutes).
 benchall:
 	$(GO) run ./cmd/benchall
+
+# Throughput regression gate: a short perf snapshot must stay above 70% of
+# the committed floor (the workers-1 row of BENCH_perf.json, rounded down).
+# It runs in a scratch directory so the short-budget snapshot never
+# clobbers the committed BENCH_perf.json / BENCH_history.jsonl — those are
+# regenerated deliberately with `make benchall` runs from the repo root.
+PERF_FLOOR ?= 111000
+perfgate:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/benchall" ./cmd/benchall && \
+	cd "$$tmp" && ./benchall -only perf -execs 50000 -perf-floor $(PERF_FLOOR)
+
+# CPU + heap profile of a full-budget perf campaign; leaves cpu.prof and
+# mem.prof in the repo root (gitignored). Inspect with `go tool pprof`.
+profile:
+	$(GO) build -o bin/benchall ./cmd/benchall
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	cd "$$tmp" && $(abspath bin/benchall) -only perf \
+		-cpuprofile cpu.prof -memprofile mem.prof && \
+	cp cpu.prof mem.prof $(CURDIR)/ && \
+	echo "wrote cpu.prof and mem.prof (go tool pprof cpu.prof)"
 
 fmt:
 	gofmt -w .

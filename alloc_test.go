@@ -1,0 +1,89 @@
+// Allocation budgets for the fuzz loop's hottest operations. Wall-clock
+// benchmarks are machine-dependent and flaky in CI; allocation counts are
+// exact and stable, so this test runs unconditionally in `make ci` and
+// fails the moment a change regresses per-op allocation behaviour.
+//
+// The ceilings are fixed numbers, not measurements: they encode the
+// performance contract established by the structural-clone and
+// allocation-reuse work. Lowering one after an optimization is encouraged;
+// raising one is a perf regression that needs justification.
+package lego_test
+
+import (
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/coverage"
+	"github.com/seqfuzz/lego/internal/sqlast"
+	"github.com/seqfuzz/lego/internal/sqlparse"
+)
+
+// allocStmt is a representative hot-path statement: a join query with a
+// WHERE clause and ORDER BY, the shape the mutators clone most.
+const allocStmtSQL = `SELECT t1.v1, t2.v2 FROM t1 JOIN t2 ON (t1.v1 = t2.v1) WHERE (t1.v2 > 3) ORDER BY t1.v1 DESC LIMIT 10`
+
+func TestAllocBudgets(t *testing.T) {
+	stmt := sqlparse.MustParseScript(allocStmtSQL + ";")[0]
+	tc := sqlparse.MustParseScript(`
+CREATE TABLE t1 (v1 INT, v2 INT);
+INSERT INTO t1 VALUES (1, 2);
+SELECT v1 FROM t1 WHERE (v2 = 2);
+`)
+
+	check := func(name string, ceiling float64, f func()) {
+		t.Helper()
+		got := testing.AllocsPerRun(200, f)
+		t.Logf("%-16s %5.1f allocs/op (budget %.0f)", name, got, ceiling)
+		if got > ceiling {
+			t.Errorf("%s: %.1f allocs/op, budget %.0f", name, got, ceiling)
+		}
+	}
+
+	// Structural clone of the join query: one allocation per node plus one
+	// per non-empty slice. The reparse path this replaced cost hundreds.
+	check("CloneStatement", 25, func() {
+		_ = sqlparse.CloneStatement(stmt)
+	})
+
+	// Cold render of the join query: builder growth plus child renders.
+	cold := stmt.(*sqlast.SelectStmt)
+	check("render-cold", 20, func() {
+		sqlast.InvalidateSQL(cold)
+		_ = cold.SQL()
+	})
+
+	// Memoized render: zero — SQL() must return the cached string.
+	_ = stmt.SQL()
+	check("render-memoized", 0, func() {
+		_ = stmt.SQL()
+	})
+
+	// Test-case clone: clone of every statement plus the slice header.
+	check("CloneTestCase", 25, func() {
+		_ = sqlparse.CloneTestCase(tc)
+	})
+
+	// Coverage tracer hit and map accumulate: steady-state zero. The
+	// tracer's touched list is pre-sized; Accumulate only reads it.
+	tr := coverage.NewTracer()
+	sites := []coverage.Site{
+		coverage.NewSite("alloc-budget-a"),
+		coverage.NewSite("alloc-budget-b"),
+		coverage.NewSite("alloc-budget-c"),
+	}
+	check("Tracer.Hit", 0, func() {
+		for _, s := range sites {
+			tr.Hit(s)
+		}
+		tr.Reset()
+	})
+
+	m := coverage.NewMap()
+	for _, s := range sites {
+		tr.Hit(s)
+	}
+	m.Accumulate(tr)
+	check("Map.Accumulate", 0, func() {
+		_, _ = m.Accumulate(tr)
+	})
+	tr.Reset()
+}

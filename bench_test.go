@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"testing"
 
+	"github.com/seqfuzz/lego/internal/coverage"
 	"github.com/seqfuzz/lego/internal/experiment"
 	"github.com/seqfuzz/lego/internal/minidb"
 	"github.com/seqfuzz/lego/internal/sqlast"
@@ -126,7 +127,7 @@ func BenchmarkLengthStudy(b *testing.B) {
 }
 
 // BenchmarkAblationRandomSeq compares affinity-gated synthesis against
-// uniformly random sequence generation under equal budgets (DESIGN.md §9) —
+// uniformly random sequence generation under equal budgets (DESIGN.md §10) —
 // the strawman of challenges C1/C2.
 func BenchmarkAblationRandomSeq(b *testing.B) {
 	bud := benchBudgets()
@@ -141,7 +142,7 @@ func BenchmarkAblationRandomSeq(b *testing.B) {
 }
 
 // BenchmarkAblationNoCovGate compares coverage-gated affinity extraction
-// against extract-from-everything (DESIGN.md §9).
+// against extract-from-everything (DESIGN.md §10).
 func BenchmarkAblationNoCovGate(b *testing.B) {
 	bud := benchBudgets()
 	for i := 0; i < b.N; i++ {
@@ -196,6 +197,7 @@ func BenchmarkShardedFigure9(b *testing.B) {
 func BenchmarkEngineThroughput(b *testing.B) {
 	eng := newBenchEngine()
 	tc := benchSeed()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Tracer().Reset()
@@ -205,4 +207,73 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(tc)), "stmts/exec")
+}
+
+// --- hot-path microbenchmarks -------------------------------------------
+//
+// These isolate the per-candidate costs the campaign numbers are built
+// from: cloning (every mutation), rendering (oracle recording and
+// checkpointing), execution, and coverage accumulation. All report allocs;
+// TestAllocBudgets pins the alloc counts, these pin the wall-clock.
+
+// benchCloneStmt is the join-query shape the mutators clone most.
+const benchCloneStmtSQL = `SELECT t1.v1, t2.v2 FROM t1 JOIN t2 ON (t1.v1 = t2.v1) WHERE (t1.v2 > 3) ORDER BY t1.v1 DESC LIMIT 10;`
+
+// BenchmarkCloneStructural measures the structural statement clone that
+// backs sqlparse.CloneStatement on the hot path.
+func BenchmarkCloneStructural(b *testing.B) {
+	s := sqlparse.MustParseScript(benchCloneStmtSQL)[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Clone()
+	}
+}
+
+// BenchmarkCloneByReparse measures the retired render+reparse clone, kept
+// as the property-test oracle — the contrast row for BenchmarkCloneStructural.
+func BenchmarkCloneByReparse(b *testing.B) {
+	s := sqlparse.MustParseScript(benchCloneStmtSQL)[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = sqlparse.CloneStatementByReparse(s)
+	}
+}
+
+// BenchmarkRenderCold measures a full SQL render with a cold memo.
+func BenchmarkRenderCold(b *testing.B) {
+	s := sqlparse.MustParseScript(benchCloneStmtSQL)[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sqlast.InvalidateSQL(s)
+		_ = s.SQL()
+	}
+}
+
+// BenchmarkRenderMemoized measures the cached SQL() path.
+func BenchmarkRenderMemoized(b *testing.B) {
+	s := sqlparse.MustParseScript(benchCloneStmtSQL)[0]
+	_ = s.SQL()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.SQL()
+	}
+}
+
+// BenchmarkCoverageAccumulate measures one tracer fold into the global map
+// at a realistic touched-edge count.
+func BenchmarkCoverageAccumulate(b *testing.B) {
+	eng := newBenchEngine()
+	tc := benchSeed()
+	eng.Tracer().Reset()
+	if out := eng.RunTestCase(tc); out.Crash != nil {
+		b.Fatal("unexpected crash")
+	}
+	m := coverage.NewMap()
+	tr := eng.Tracer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = m.Accumulate(tr)
+	}
+	b.ReportMetric(float64(tr.Edges()), "edges/op")
 }

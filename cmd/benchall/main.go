@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/seqfuzz/lego/internal/experiment"
+	"github.com/seqfuzz/lego/internal/profiling"
 	"github.com/seqfuzz/lego/internal/sqlt"
 )
 
@@ -30,7 +31,17 @@ func main() {
 	contExecs := flag.Int("continuous", 0, "override the continuous-fuzzing budget (table1)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	curves := flag.String("curves", "", "write Figure 9 coverage curves as CSV to this file")
+	perfFloor := flag.Int("perf-floor", 0, "fail (exit 1) if the perf experiment's workers-1 stmts/s drops below 70% of this floor (0 disables the gate)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	b := experiment.DefaultBudgets()
 	if *quick {
@@ -76,7 +87,12 @@ func main() {
 	run("table4", func() string { return experiment.Table4(b).Format() })
 	run("length", func() string { return experiment.LengthStudy(b).Format() })
 	run("sharded", func() string { return shardedStudy(b) })
-	run("perf", func() string { return perfSnapshot(b) })
+	perfOK := true
+	run("perf", func() string {
+		out, ok := perfSnapshot(b, *perfFloor)
+		perfOK = ok
+		return out
+	})
 
 	if *only != "" {
 		switch *only {
@@ -85,6 +101,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 			os.Exit(2)
 		}
+	}
+	if !perfOK {
+		stopProfiles()
+		os.Exit(1)
 	}
 }
 
@@ -130,10 +150,12 @@ type perfRow struct {
 
 // perfSnapshot measures end-to-end campaign throughput (statements/sec) at
 // one worker, four workers, and four workers with the chaos plane armed —
-// the supervision overhead row — and writes the machine-readable snapshot to
-// BENCH_perf.json. Campaign results per row are deterministic; the timing
-// columns are the machine-dependent part.
-func perfSnapshot(b experiment.Budgets) string {
+// the supervision overhead row. It writes the machine-readable snapshot to
+// BENCH_perf.json, appends one line to the BENCH_history.jsonl trajectory,
+// and — when floor > 0 — gates the workers-1 throughput at 70% of the
+// floor, returning ok=false on a regression. Campaign results per row are
+// deterministic; the timing columns are the machine-dependent part.
+func perfSnapshot(b experiment.Budgets, floor int) (string, bool) {
 	const epochStmts = 500
 	type cfgRow struct {
 		name      string
@@ -191,6 +213,11 @@ func perfSnapshot(b experiment.Budgets) string {
 	} else {
 		fmt.Fprintf(os.Stderr, "perf: %v\n", err)
 	}
+	if err := appendPerfHistory(b, epochStmts, rows); err != nil {
+		fmt.Fprintf(os.Stderr, "perf: history: %v\n", err)
+	} else {
+		sb.WriteString("[trajectory row appended to BENCH_history.jsonl]\n")
+	}
 
 	sb.WriteString("Campaign throughput — supervision and chaos overhead (MariaDB)\n")
 	sb.WriteString(fmt.Sprintf("%-22s  %10s  %9s  %9s  %5s  %8s  %8s\n",
@@ -199,5 +226,47 @@ func perfSnapshot(b experiment.Budgets) string {
 		sb.WriteString(fmt.Sprintf("%-22s  %10d  %9d  %9d  %5d  %8.2f  %8.0f\n",
 			r.Name, r.Statements, r.Incidents, r.Quarantined, r.Bugs, r.Seconds, r.StmtsPerSec))
 	}
-	return sb.String()
+
+	ok := true
+	if floor > 0 {
+		// The gate tolerates ≥30% machine-to-machine variance: it exists to
+		// catch order-of-magnitude regressions (an accidental reparse on the
+		// clone path), not to turn CI into a benchmarking rig.
+		min := 0.7 * float64(floor)
+		got := rows[0].StmtsPerSec
+		if got < min {
+			sb.WriteString(fmt.Sprintf("PERF GATE FAILED: workers-1 %.0f stmts/s < %.0f (70%% of floor %d)\n",
+				got, min, floor))
+			ok = false
+		} else {
+			sb.WriteString(fmt.Sprintf("perf gate ok: workers-1 %.0f stmts/s >= %.0f (70%% of floor %d)\n",
+				got, min, floor))
+		}
+	}
+	return sb.String(), ok
+}
+
+// appendPerfHistory appends one compact JSONL row per perf run, building
+// the perf trajectory the snapshot cannot show: BENCH_perf.json is the
+// latest state, BENCH_history.jsonl is how it got there.
+func appendPerfHistory(b experiment.Budgets, epochStmts int, rows []perfRow) error {
+	entry := struct {
+		Time        string    `json:"time"`
+		Dialect     string    `json:"dialect"`
+		BudgetStmts int       `json:"budget_stmts"`
+		EpochStmts  int       `json:"epoch_stmts"`
+		Seed        int64     `json:"seed"`
+		Rows        []perfRow `json:"rows"`
+	}{time.Now().UTC().Format(time.RFC3339), sqlt.DialectMariaDB.String(), b.DayStmts, epochStmts, b.Seed, rows}
+	data, err := json.Marshal(entry)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile("BENCH_history.jsonl", os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(data, '\n'))
+	return err
 }

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"github.com/seqfuzz/lego"
+	"github.com/seqfuzz/lego/internal/profiling"
 )
 
 var targets = map[string]lego.Target{
@@ -60,6 +61,8 @@ func main() {
 	triageReplays := flag.Int("triage-replays", 3, "verification replays per crash")
 	triageBudget := flag.Int("triage-budget", 256, "max minimization replays per crash")
 	triageAssert := flag.Bool("triage-assert", false, "exit 1 unless every bug is STABLE with MinimizedLen <= OriginalLen (CI smoke)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole campaign to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at campaign end to this file")
 	flag.Parse()
 
 	d, ok := targets[strings.ToLower(*target)]
@@ -67,6 +70,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown target %q (want postgres, mysql, mariadb, or comdb2)\n", *target)
 		os.Exit(2)
 	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	cfg := lego.Config{
 		Target:                    d,

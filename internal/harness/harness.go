@@ -6,6 +6,7 @@ package harness
 
 import (
 	"runtime"
+	"sync"
 
 	"github.com/seqfuzz/lego/internal/affinity"
 	"github.com/seqfuzz/lego/internal/coverage"
@@ -213,8 +214,7 @@ SELECT SUM(n) FROM t7;`,
 // every statement the dialect accepts.
 func InitialSeeds(d sqlt.Dialect) []sqlast.TestCase {
 	var out []sqlast.TestCase
-	for _, sql := range initialSeedSQL {
-		tc := sqlparse.MustParseScript(sql)
+	for _, tc := range parsedSeedCorpus() {
 		okForDialect := true
 		for _, s := range tc {
 			if !d.Supports(s.Type()) {
@@ -223,8 +223,27 @@ func InitialSeeds(d sqlt.Dialect) []sqlast.TestCase {
 			}
 		}
 		if okForDialect {
-			out = append(out, tc)
+			out = append(out, tc.Clone())
 		}
 	}
 	return out
+}
+
+// seedCorpus caches the parsed seed corpus: the scripts are process
+// constants, so they are parsed exactly once and every caller — including
+// each of N shard workers — receives structural clones instead of paying a
+// reparse.
+var seedCorpus struct {
+	once sync.Once
+	tcs  []sqlast.TestCase
+}
+
+func parsedSeedCorpus() []sqlast.TestCase {
+	seedCorpus.once.Do(func() {
+		seedCorpus.tcs = make([]sqlast.TestCase, len(initialSeedSQL))
+		for i, sql := range initialSeedSQL {
+			seedCorpus.tcs[i] = sqlparse.MustParseScript(sql)
+		}
+	})
+	return seedCorpus.tcs
 }

@@ -23,7 +23,10 @@ func NewLibrary() *Library {
 	return &Library{byType: map[sqlt.Type][]sqlast.Statement{}, MaxPerType: 64}
 }
 
-// Harvest stores a clone of every statement of the test case, keyed by type.
+// Harvest stores every statement of the test case, keyed by type. Stored
+// statements are canonical aliases of the harvested case, not copies: the
+// fuzz loop never mutates a statement in place (mutation always operates on
+// fresh clones), so the library only has to clone on the way out (Pick).
 func (l *Library) Harvest(tc sqlast.TestCase) {
 	for _, s := range tc {
 		t := s.Type()
@@ -40,7 +43,7 @@ func (l *Library) Harvest(tc sqlast.TestCase) {
 		if dup {
 			continue
 		}
-		bucket = append(bucket, sqlparse.CloneStatement(s))
+		bucket = append(bucket, s)
 		if len(bucket) > l.MaxPerType {
 			bucket = bucket[len(bucket)-l.MaxPerType:]
 		}

@@ -120,6 +120,12 @@ type Engine struct {
 	// state flags observed by hazard conditions
 	rowsInserted  int
 	lastInsertTab string
+
+	// outcome scratch buffers, reused across RunTestCase calls: the
+	// returned Outcome slices into these, so they are valid only until
+	// the next RunTestCase on the same engine (see Outcome docs).
+	resBuf []*Result
+	errBuf []error
 }
 
 // New creates an engine for the given configuration.
@@ -184,8 +190,12 @@ type Outcome struct {
 	// Errors is the number of statements that returned a SQL error.
 	Errors int
 	// Results holds per-statement results (nil entry on error/crash).
+	// The slice aliases an engine-owned scratch buffer: it is valid only
+	// until the next RunTestCase call on the same engine. Callers that
+	// need results across runs must copy the slice first.
 	Results []*Result
-	// Errs holds per-statement errors (nil entry on success).
+	// Errs holds per-statement errors (nil entry on success). Same
+	// lifetime as Results: valid until the next RunTestCase call.
 	Errs []error
 }
 
@@ -195,8 +205,16 @@ type Outcome struct {
 // is re-raised, since it would be a genuine engine defect.
 func (e *Engine) RunTestCase(tc sqlast.TestCase) (out Outcome) {
 	e.reset()
-	out.Results = make([]*Result, len(tc))
-	out.Errs = make([]error, len(tc))
+	if cap(e.resBuf) < len(tc) {
+		e.resBuf = make([]*Result, len(tc))
+		e.errBuf = make([]error, len(tc))
+	}
+	out.Results = e.resBuf[:len(tc)]
+	out.Errs = e.errBuf[:len(tc)]
+	for i := range out.Results {
+		out.Results[i] = nil
+		out.Errs[i] = nil
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			if br, ok := r.(*BugReport); ok {

@@ -358,7 +358,7 @@ func (e *Engine) execAlterTable(st *sqlast.AlterTableStmt) (*Result, error) {
 		for i := range t.Rows {
 			var v Value
 			if st.Col.Default != nil {
-				dv, err := e.eval(st.Col.Default, &scope{row: map[string]Value{}}, 0)
+				dv, err := e.eval(st.Col.Default, emptyScope, 0)
 				if err != nil {
 					return nil, err
 				}
@@ -505,7 +505,7 @@ func (e *Engine) execAlterSimple(st *sqlast.AlterSimpleStmt) (*Result, error) {
 
 func (e *Engine) execAlterSystem(st *sqlast.AlterSystemStmt) (*Result, error) {
 	e.hit(pAlterSystem)
-	v, err := e.eval(st.Value, &scope{row: map[string]Value{}}, 0)
+	v, err := e.eval(st.Value, emptyScope, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -62,7 +62,7 @@ func (e *Engine) execInsert(st *sqlast.InsertStmt) (*Result, error) {
 			}
 			row := make([]Value, len(exprRow))
 			for i, x := range exprRow {
-				v, err := e.eval(x, &scope{row: map[string]Value{}}, 0)
+				v, err := e.eval(x, emptyScope, 0)
 				if err != nil {
 					return nil, err
 				}
@@ -159,7 +159,7 @@ func (e *Engine) buildRow(t *Table, targets []int, src []Value) ([]Value, error)
 			continue
 		}
 		if t.Cols[ci].Default != nil {
-			dv, err := e.eval(t.Cols[ci].Default, &scope{row: map[string]Value{}}, 0)
+			dv, err := e.eval(t.Cols[ci].Default, emptyScope, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -736,7 +736,7 @@ func ok2(msg string) (*Result, error) { return &Result{Msg: msg}, nil }
 
 func (e *Engine) execDo(st *sqlast.DoStmt) (*Result, error) {
 	e.hit(pDo)
-	if _, err := e.eval(st.Body, &scope{row: map[string]Value{}}, 0); err != nil {
+	if _, err := e.eval(st.Body, emptyScope, 0); err != nil {
 		return nil, err
 	}
 	return ok("DO")

@@ -25,7 +25,7 @@ func (e *Engine) execValuesStmt(st *sqlast.ValuesStmtNode) (*Result, error) {
 	for _, exprRow := range st.Rows {
 		row := make([]Value, len(exprRow))
 		for i, x := range exprRow {
-			v, err := e.eval(x, &scope{row: map[string]Value{}}, 0)
+			v, err := e.eval(x, emptyScope, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -233,7 +233,7 @@ func (e *Engine) execLockTable(st *sqlast.LockTableStmt) (*Result, error) {
 
 func (e *Engine) execSetVar(st *sqlast.SetVarStmt) (*Result, error) {
 	e.hit(pSetVar)
-	v, err := e.eval(st.Value, &scope{row: map[string]Value{}}, 0)
+	v, err := e.eval(st.Value, emptyScope, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +263,7 @@ func (e *Engine) execPragma(st *sqlast.PragmaStmt) (*Result, error) {
 		}
 		return &Result{Cols: []string{name}, Rows: [][]Value{{v}}}, nil
 	}
-	v, err := e.eval(st.Value, &scope{row: map[string]Value{}}, 0)
+	v, err := e.eval(st.Value, emptyScope, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -44,6 +44,29 @@ func (r *relation) scopeRow(i int, parent *scope) *scope {
 	return &scope{row: m, parent: parent}
 }
 
+// scopeRowInto binds row i into the caller-owned scratch scope, reusing its
+// map across calls so a per-row loop allocates one map per query instead of
+// one per row. Every row of a relation binds exactly the same key set, so
+// overwriting without clearing is correct. Only loops that do NOT retain
+// the scope (or its row map) past the enclosing eval call may use this;
+// retaining sites (group buckets, window partitions' group rows) must stay
+// on scopeRow.
+func (r *relation) scopeRowInto(i int, parent *scope, sc *scope) *scope {
+	qk := r.keyCache()
+	if sc.row == nil {
+		sc.row = make(map[string]Value, 2*len(r.cols))
+	}
+	for c := len(r.cols) - 1; c >= 0; c-- {
+		// iterate right-to-left so the leftmost duplicate wins
+		sc.row[r.cols[c]] = r.rows[i][c]
+		if qk[c] != "" {
+			sc.row[qk[c]] = r.rows[i][c]
+		}
+	}
+	sc.parent = parent
+	return sc
+}
+
 // execSelectTop handles SELECT as a top-level statement.
 func (e *Engine) execSelectTop(q *sqlast.SelectStmt) (*Result, error) {
 	e.hit(pExecSelect)
@@ -115,11 +138,12 @@ func (e *Engine) execSelect(q *sqlast.SelectStmt, outer *scope, depth int) ([][]
 	if q.Where != nil {
 		e.planFilterPath(q, rel)
 		var filtered [][]Value
+		var rsc scope
 		for i := range rel.rows {
 			if err := e.chargeStep(); err != nil {
 				return nil, nil, err
 			}
-			sc := rel.scopeRow(i, outer)
+			sc := rel.scopeRowInto(i, outer, &rsc)
 			v, err := e.eval(q.Where, sc, depth+1)
 			if err != nil {
 				return nil, nil, err
@@ -322,12 +346,13 @@ func (e *Engine) execProjection(q *sqlast.SelectStmt, rel *relation, outer *scop
 		winVals = wv
 	}
 
-	var out [][]Value
+	out := make([][]Value, 0, len(rel.rows))
+	var rsc scope
 	for i := range rel.rows {
 		if err := e.chargeStep(); err != nil {
 			return nil, nil, err
 		}
-		sc := rel.scopeRow(i, outer)
+		sc := rel.scopeRowInto(i, outer, &rsc)
 		if winVals != nil {
 			sc.winVals = winVals[i]
 		}
@@ -353,7 +378,7 @@ func (e *Engine) execProjection(q *sqlast.SelectStmt, rel *relation, outer *scop
 }
 
 func (e *Engine) projectRow(items []sqlast.SelectItem, rel *relation, rowIdx int, sc *scope, depth int) ([]Value, error) {
-	var row []Value
+	row := make([]Value, 0, len(items))
 	for _, it := range items {
 		if st, ok := it.X.(*sqlast.Star); ok {
 			for c := range rel.cols {
@@ -507,8 +532,9 @@ func (e *Engine) computeOneWindow(fc *sqlast.FuncCall, rel *relation, out []map[
 	// Partition rows.
 	parts := map[string][]int{}
 	var partOrder []string
+	var rsc scope
 	for i := range rel.rows {
-		sc := rel.scopeRow(i, outer)
+		sc := rel.scopeRowInto(i, outer, &rsc)
 		key := ""
 		if len(fc.Over.PartitionBy) > 0 {
 			var keys []Value
@@ -534,7 +560,7 @@ func (e *Engine) computeOneWindow(fc *sqlast.FuncCall, rel *relation, out []map[
 		if len(fc.Over.OrderBy) > 0 {
 			keys := make([][]Value, len(idxs))
 			for n, i := range idxs {
-				sc := rel.scopeRow(i, outer)
+				sc := rel.scopeRowInto(i, outer, &rsc)
 				for _, ob := range fc.Over.OrderBy {
 					v, err := e.eval(ob.X, sc, depth+1)
 					if err != nil {
@@ -558,7 +584,7 @@ func (e *Engine) computeOneWindow(fc *sqlast.FuncCall, rel *relation, out []map[
 			// keys moved with idxs only when we re-fetch; recompute keys
 			// after the sort for rank ties.
 			for n, i := range idxs {
-				sc := rel.scopeRow(i, outer)
+				sc := rel.scopeRowInto(i, outer, &rsc)
 				keys[n] = keys[n][:0]
 				for _, ob := range fc.Over.OrderBy {
 					v, err := e.eval(ob.X, sc, depth+1)
@@ -619,7 +645,7 @@ func (e *Engine) computeOneWindow(fc *sqlast.FuncCall, rel *relation, out []map[
 					out[i][fc] = Null()
 					continue
 				}
-				sc := rel.scopeRow(idxs[src], outer)
+				sc := rel.scopeRowInto(idxs[src], outer, &rsc)
 				v, err := e.eval(fc.Args[0], sc, depth+1)
 				if err != nil {
 					return err
@@ -671,8 +697,18 @@ func (e *Engine) computeOneWindow(fc *sqlast.FuncCall, rel *relation, out []map[
 // 1:1 to source rows) — source columns that were projected away.
 func (e *Engine) sortRows(q *sqlast.SelectStmt, rows [][]Value, cols []string, srcRel *relation, outer *scope, depth int) error {
 	keys := make([][]Value, len(rows))
+	// One output-column map and one source scope serve the whole loop: rows
+	// of one result set share a length and column set, so overwriting is
+	// safe; a length change (defensive, shouldn't happen) forces a fresh map
+	// so no stale key from a longer row survives.
+	var m map[string]Value
+	var psc, ssc scope
+	lastLen := -1
 	for i, row := range rows {
-		m := map[string]Value{}
+		if m == nil || len(row) != lastLen {
+			m = make(map[string]Value, len(cols))
+			lastLen = len(row)
+		}
 		for c, name := range cols {
 			if c < len(row) {
 				m[name] = row[c]
@@ -680,9 +716,11 @@ func (e *Engine) sortRows(q *sqlast.SelectStmt, rows [][]Value, cols []string, s
 		}
 		parent := outer
 		if srcRel != nil {
-			parent = srcRel.scopeRow(i, outer)
+			parent = srcRel.scopeRowInto(i, outer, &psc)
 		}
-		sc := &scope{row: m, parent: parent}
+		ssc.row = m
+		ssc.parent = parent
+		sc := &ssc
 		for _, ob := range q.OrderBy {
 			ox := ob.X
 			if lit, ok := ox.(*sqlast.Literal); ok && lit.Kind == sqlast.LitInt &&
@@ -789,6 +827,12 @@ func crossProduct(a, b *relation, maxRows int) *relation {
 	out := &relation{
 		cols: append(append([]string{}, a.cols...), b.cols...),
 		qual: append(append([]string{}, a.qual...), b.qual...),
+	}
+	if n := len(a.rows) * len(b.rows); n > 0 {
+		if n > maxRows {
+			n = maxRows
+		}
+		out.rows = make([][]Value, 0, n)
 	}
 	for _, ra := range a.rows {
 		for _, rb := range b.rows {
@@ -918,11 +962,18 @@ func (e *Engine) joinRelations(j *sqlast.JoinRef, left, right *relation, outer *
 	// cannot stall fuzzing (paper challenge C3). Real servers spend the
 	// time; a fuzzing harness must not.
 	pairBudget := 20000
+	// The pair row, probe relation, and scope map are allocated once and
+	// rebound per pair: only matched pairs materialize a fresh row into
+	// out.rows, so the ON evaluation runs allocation-free across the up to
+	// 20000 probed pairs.
+	pairRow := make([]Value, 0, len(out.cols))
+	probe := &relation{cols: out.cols, qual: out.qual, rows: [][]Value{nil}}
+	var psc scope
 	matchRow := func(lrow, rrow []Value) (bool, error) {
 		pairBudget--
-		row := append(append([]Value{}, lrow...), rrow...)
-		tmp := &relation{cols: out.cols, qual: out.qual, rows: [][]Value{row}}
-		sc := tmp.scopeRow(0, outer)
+		pairRow = append(append(pairRow[:0], lrow...), rrow...)
+		probe.rows[0] = pairRow
+		sc := probe.scopeRowInto(0, outer, &psc)
 		v, err := e.eval(j.On, sc, depth+1)
 		if err != nil {
 			return false, err

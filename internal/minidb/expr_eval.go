@@ -17,6 +17,13 @@ type scope struct {
 	parent  *scope
 }
 
+// emptyScope is the shared binding-free scope for evaluating expressions
+// that have no row context (INSERT values, column defaults, SET values).
+// It is read-only by contract: eval never writes a scope, and every site
+// that binds values constructs its own scope. Sharing one instance keeps
+// those call sites allocation-free.
+var emptyScope = &scope{row: map[string]Value{}}
+
 func (s *scope) lookup(name string) (Value, bool) {
 	for sc := s; sc != nil; sc = sc.parent {
 		if sc.fnArgs != nil {

@@ -94,8 +94,11 @@ func (m *Mutator) MutateValues(tc sqlast.TestCase) sqlast.TestCase {
 	out := sqlparse.CloneTestCase(tc)
 	i := m.Rng.Intn(len(out))
 	m.mutateStatement(out[i])
+	sqlast.InvalidateSQL(out[i])
 	if m.Rng.Intn(2) == 0 { // occasionally touch a second statement
-		m.mutateStatement(out[m.Rng.Intn(len(out))])
+		j := m.Rng.Intn(len(out))
+		m.mutateStatement(out[j])
+		sqlast.InvalidateSQL(out[j])
 	}
 	if m.Rng.Intn(3) != 0 { // semantics-guided refill, SQUIRREL-style
 		m.Inst.Fixer.Fix(out)

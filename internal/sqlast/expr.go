@@ -18,6 +18,8 @@ type Expr interface {
 	exprNode()
 	// SQL renders the expression as parseable SQL text.
 	SQL() string
+	// Clone returns a deep, aliasing-free copy of the expression.
+	Clone() Expr
 }
 
 // LitKind discriminates literal values.

@@ -14,6 +14,9 @@ type Statement interface {
 	// SQL renders the statement as parseable SQL text, without the
 	// trailing semicolon.
 	SQL() string
+	// Clone returns a deep, aliasing-free copy of the statement that
+	// renders byte-identical SQL (see clone.go).
+	Clone() Statement
 }
 
 // ---------------------------------------------------------------------------
@@ -98,6 +101,7 @@ func (t *TableConstraint) SQL() string {
 
 // CreateTableStmt is CREATE [TEMPORARY] TABLE [IF NOT EXISTS] name (...).
 type CreateTableStmt struct {
+	sqlMemo
 	Name        string
 	Temp        bool
 	IfNotExists bool
@@ -108,9 +112,9 @@ type CreateTableStmt struct {
 // Type implements Statement.
 func (*CreateTableStmt) Type() sqlt.Type { return sqlt.CreateTable }
 
-// SQL implements Statement.
-func (s *CreateTableStmt) SQL() string {
+func (s *CreateTableStmt) render() string {
 	var sb strings.Builder
+	sb.Grow(64)
 	sb.WriteString("CREATE ")
 	if s.Temp {
 		sb.WriteString("TEMPORARY ")
@@ -137,6 +141,7 @@ func (s *CreateTableStmt) SQL() string {
 
 // CreateViewStmt is CREATE [OR REPLACE] [MATERIALIZED] VIEW name AS query.
 type CreateViewStmt struct {
+	sqlMemo
 	Name         string
 	OrReplace    bool
 	Materialized bool
@@ -152,8 +157,7 @@ func (s *CreateViewStmt) Type() sqlt.Type {
 	return sqlt.CreateView
 }
 
-// SQL implements Statement.
-func (s *CreateViewStmt) SQL() string {
+func (s *CreateViewStmt) render() string {
 	var sb strings.Builder
 	sb.WriteString("CREATE ")
 	if s.OrReplace {
@@ -174,6 +178,7 @@ func (s *CreateViewStmt) SQL() string {
 
 // CreateIndexStmt is CREATE [UNIQUE] INDEX name ON table (cols).
 type CreateIndexStmt struct {
+	sqlMemo
 	Name   string
 	Unique bool
 	Table  string
@@ -183,8 +188,7 @@ type CreateIndexStmt struct {
 // Type implements Statement.
 func (*CreateIndexStmt) Type() sqlt.Type { return sqlt.CreateIndex }
 
-// SQL implements Statement.
-func (s *CreateIndexStmt) SQL() string {
+func (s *CreateIndexStmt) render() string {
 	u := ""
 	if s.Unique {
 		u = "UNIQUE "

@@ -12,6 +12,7 @@ import (
 // InsertStmt is INSERT [IGNORE] INTO table [(cols)] VALUES (...) | query,
 // and its REPLACE variant.
 type InsertStmt struct {
+	sqlMemo
 	Table               string
 	Cols                []string
 	Rows                [][]Expr    // one of Rows / Query
@@ -30,9 +31,9 @@ func (s *InsertStmt) Type() sqlt.Type {
 	return sqlt.Insert
 }
 
-// SQL implements Statement.
-func (s *InsertStmt) SQL() string {
+func (s *InsertStmt) render() string {
 	var sb strings.Builder
+	sb.Grow(64)
 	if s.IsReplace {
 		sb.WriteString("REPLACE")
 	} else {
@@ -91,6 +92,7 @@ func (a Assignment) SQL() string { return a.Col + " = " + a.Value.SQL() }
 
 // UpdateStmt is UPDATE table SET ... [WHERE ...] [ORDER BY ...] [LIMIT n].
 type UpdateStmt struct {
+	sqlMemo
 	Table   string
 	Sets    []Assignment
 	Where   Expr
@@ -101,9 +103,9 @@ type UpdateStmt struct {
 // Type implements Statement.
 func (*UpdateStmt) Type() sqlt.Type { return sqlt.Update }
 
-// SQL implements Statement.
-func (s *UpdateStmt) SQL() string {
+func (s *UpdateStmt) render() string {
 	var sb strings.Builder
+	sb.Grow(48)
 	sb.WriteString("UPDATE " + s.Table + " SET ")
 	for i, a := range s.Sets {
 		if i > 0 {
@@ -120,6 +122,7 @@ func (s *UpdateStmt) SQL() string {
 
 // DeleteStmt is DELETE FROM table [WHERE ...] [ORDER BY ...] [LIMIT n].
 type DeleteStmt struct {
+	sqlMemo
 	Table     string
 	Where     Expr
 	OrderBy   []OrderItem
@@ -130,9 +133,9 @@ type DeleteStmt struct {
 // Type implements Statement.
 func (*DeleteStmt) Type() sqlt.Type { return sqlt.Delete }
 
-// SQL implements Statement.
-func (s *DeleteStmt) SQL() string {
+func (s *DeleteStmt) render() string {
 	var sb strings.Builder
+	sb.Grow(48)
 	sb.WriteString("DELETE FROM " + s.Table)
 	if s.Where != nil {
 		sb.WriteString(" WHERE " + s.Where.SQL())
@@ -153,6 +156,7 @@ func (s *DeleteStmt) SQL() string {
 // MergeStmt is a simplified MERGE INTO target USING source ON cond
 // WHEN MATCHED THEN UPDATE SET ... WHEN NOT MATCHED THEN INSERT VALUES (...).
 type MergeStmt struct {
+	sqlMemo
 	Target         string
 	Source         string
 	On             Expr
@@ -163,8 +167,7 @@ type MergeStmt struct {
 // Type implements Statement.
 func (*MergeStmt) Type() sqlt.Type { return sqlt.Merge }
 
-// SQL implements Statement.
-func (s *MergeStmt) SQL() string {
+func (s *MergeStmt) render() string {
 	var sb strings.Builder
 	sb.WriteString("MERGE INTO " + s.Target + " USING " + s.Source + " ON " + s.On.SQL())
 	if len(s.MatchedSet) > 0 {
@@ -335,6 +338,8 @@ type TableRef interface {
 	tableRefNode()
 	// SQL renders the reference.
 	SQL() string
+	// Clone returns a deep, aliasing-free copy of the reference.
+	Clone() TableRef
 }
 
 // BaseTable names a table or view.
@@ -415,6 +420,7 @@ func (s SetOp) String() string {
 // SelectStmt is the full query form, including optional trailing set
 // operation and SELECT INTO.
 type SelectStmt struct {
+	sqlMemo
 	Distinct bool
 	Items    []SelectItem
 	Into     string // SELECT ... INTO newtable
@@ -437,9 +443,9 @@ func (s *SelectStmt) Type() sqlt.Type {
 	return sqlt.Select
 }
 
-// SQL implements Statement.
-func (s *SelectStmt) SQL() string {
+func (s *SelectStmt) render() string {
 	var sb strings.Builder
+	sb.Grow(64)
 	sb.WriteString("SELECT ")
 	if s.Distinct {
 		sb.WriteString("DISTINCT ")
@@ -539,6 +545,7 @@ func (c CTE) SQL() string {
 // body and all CTEs are queries, and WithDML when any part manipulates data
 // (the writable-CTE form at the centre of the paper's case study).
 type WithStmt struct {
+	sqlMemo
 	CTEs []CTE
 	Body Statement
 }
@@ -564,9 +571,9 @@ func isDML(s Statement) bool {
 	return false
 }
 
-// SQL implements Statement.
-func (s *WithStmt) SQL() string {
+func (s *WithStmt) render() string {
 	var sb strings.Builder
+	sb.Grow(64)
 	sb.WriteString("WITH ")
 	for i, c := range s.CTEs {
 		if i > 0 {
@@ -581,6 +588,7 @@ func (s *WithStmt) SQL() string {
 
 // ExplainStmt is EXPLAIN [ANALYZE] stmt.
 type ExplainStmt struct {
+	sqlMemo
 	Analyze bool
 	Stmt    Statement
 }
@@ -588,8 +596,7 @@ type ExplainStmt struct {
 // Type implements Statement.
 func (*ExplainStmt) Type() sqlt.Type { return sqlt.Explain }
 
-// SQL implements Statement.
-func (s *ExplainStmt) SQL() string {
+func (s *ExplainStmt) render() string {
 	if s.Analyze {
 		return "EXPLAIN ANALYZE " + s.Stmt.SQL()
 	}

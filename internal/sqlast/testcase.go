@@ -14,6 +14,7 @@ type TestCase []Statement
 // SQL renders the test case as a semicolon-terminated script.
 func (tc TestCase) SQL() string {
 	var sb strings.Builder
+	sb.Grow(64 * len(tc))
 	for _, s := range tc {
 		sb.WriteString(s.SQL())
 		sb.WriteString(";\n")
