@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fmtcheck test test-short bench benchall fmt examples clean ci smoke race-shard chaos perfgate profile
+.PHONY: all build vet lint lint-fixtures fmtcheck test test-short bench benchall fmt examples clean ci smoke race-shard chaos perfgate profile
 
 all: build vet lint test
 
@@ -12,6 +12,7 @@ ci:
 	$(GO) vet ./...
 	$(MAKE) fmtcheck
 	$(MAKE) lint
+	$(MAKE) lint-fixtures
 	$(GO) test -race ./...
 	$(MAKE) race-shard
 	$(MAKE) smoke
@@ -27,10 +28,19 @@ race-shard:
 
 # legolint statically enforces the campaign-determinism invariants (map
 # iteration order, global math/rand, wall-clock reads, minidb panic
-# discipline). Suppress one finding with `//lego:allow <analyzer> — <reason>`.
+# discipline) and the cross-package contracts (sqlast switch exhaustiveness,
+# memo invalidation, hotpath allocation, borrowed-buffer retention).
+# Suppress one finding with `//lego:allow <analyzer> — <reason>`; machine
+# output: $(GO) vet -json -vettool=... ./...
 lint:
 	$(GO) build -o bin/legolint ./cmd/legolint
 	$(GO) vet -vettool=$(abspath bin/legolint) ./...
+
+# The analyzers' own test suites: every testdata fixture must produce
+# exactly its expected `// want` diagnostics, and facts must survive the
+# unitchecker round-trip.
+lint-fixtures:
+	$(GO) test ./internal/analysis/...
 
 # gofmt cleanliness over the whole tree, fixtures included.
 fmtcheck:

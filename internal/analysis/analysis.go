@@ -43,6 +43,10 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// FactTypes lists prototype pointers for every Fact type the analyzer
+	// exports or imports; facts of undeclared types cannot be decoded from
+	// dependencies' vetx files.
+	FactTypes []Fact
 }
 
 // Diagnostic is one finding, positioned inside the analyzed package.
@@ -50,6 +54,12 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+	// Allowed marks a finding answered by a well-formed //lego:allow
+	// directive. Allowed findings never fail the build; they survive in the
+	// result so -json output can report the suppression state.
+	Allowed bool
+	// AllowReason is the directive's audit-trail reason when Allowed.
+	AllowReason string
 }
 
 // Pass carries one type-checked package through an analyzer.
@@ -61,6 +71,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags *[]Diagnostic
+	store *FactStore
 }
 
 // Reportf records a diagnostic at pos.
@@ -70,6 +81,45 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Message:  fmt.Sprintf(format, args...),
 		Analyzer: p.Analyzer.Name,
 	})
+}
+
+// ExportObjectFact attaches a fact to a package-level object of the analyzed
+// package so downstream packages can query it. The object must be keyable
+// (package-level type/func/var, method, or field of a package-level struct);
+// exporting on anything else is an analyzer bug and panics.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	key, ok := ObjectKeyOf(obj)
+	if !ok {
+		panic(fmt.Sprintf("%s: cannot export fact on non-package-level object %v", p.Analyzer.Name, obj))
+	}
+	p.store.put(p.Analyzer.Name, key, f)
+}
+
+// ObjectFact copies the analyzer's fact for obj into dst, reporting whether
+// one was found. The object may belong to the analyzed package or to any
+// (transitive) import whose facts reached this unit.
+func (p *Pass) ObjectFact(obj types.Object, dst Fact) bool {
+	key, ok := ObjectKeyOf(obj)
+	if !ok {
+		return false
+	}
+	return p.store.get(p.Analyzer.Name, key, dst)
+}
+
+// ExportPkgFact attaches a fact to the analyzed package itself.
+func (p *Pass) ExportPkgFact(f Fact) {
+	p.store.put(p.Analyzer.Name, ObjectKey{Pkg: p.Pkg.Path()}, f)
+}
+
+// PkgFact copies the analyzer's package fact for pkgPath into dst.
+func (p *Pass) PkgFact(pkgPath string, dst Fact) bool {
+	return p.store.get(p.Analyzer.Name, ObjectKey{Pkg: pkgPath}, dst)
+}
+
+// PkgObjectFacts enumerates every object fact this analyzer attached to the
+// given package, sorted by object path.
+func (p *Pass) PkgObjectFacts(pkgPath string) []KeyedFact {
+	return p.store.objectFacts(p.Analyzer.Name, pkgPath)
 }
 
 // deterministicPkgs are the packages whose behavior must be a pure function
@@ -114,12 +164,26 @@ func Deterministic(path string) bool {
 	return deterministicPkgs[PkgBase(path)]
 }
 
-// Run applies every analyzer to the package and returns the surviving
-// diagnostics, sorted by position: findings in _test.go files are dropped
-// (tests may time, shuffle, and iterate freely — they do not feed the
-// campaign byte stream), and findings answered by a well-formed
-// //lego:allow directive are suppressed.
-func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+// AllowLintName is the analyzer name stamped on the framework's own
+// directive-hygiene findings: malformed //lego:allow comments and allows
+// that suppress nothing. These findings are not themselves suppressible —
+// silencing the suppression auditor would defeat it.
+const AllowLintName = "allowlint"
+
+// Run applies every analyzer to the package and returns its diagnostics,
+// sorted by position. Findings in _test.go files are dropped (tests may
+// time, shuffle, and iterate freely — they do not feed the campaign byte
+// stream). Findings answered by a well-formed //lego:allow directive are
+// kept but marked Allowed, so drivers can report suppression state without
+// failing the build on them. The framework appends its own allowlint
+// findings for malformed directives and for directives that suppressed
+// nothing.
+//
+// store carries cross-package facts; pass nil for a fresh, isolated store.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
+	if store == nil {
+		store = NewFactStore()
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -129,84 +193,137 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 			Pkg:       pkg,
 			TypesInfo: info,
 			diags:     &diags,
+			store:     store,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
 
-	sup := collectSuppressions(fset, files)
+	allows, malformed := collectAllows(fset, files)
 	kept := diags[:0]
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		if strings.HasSuffix(pos.Filename, "_test.go") {
 			continue
 		}
-		if sup.allows(d.Analyzer, pos.Filename, pos.Line) {
-			continue
+		if dir := allows.match(d.Analyzer, pos.Filename, pos.Line); dir != nil {
+			dir.used = true
+			d.Allowed = true
+			d.AllowReason = dir.reason
 		}
 		kept = append(kept, d)
 	}
 	diags = kept
+
+	// Directive hygiene. Malformed allows are always reported; unused allows
+	// only when their analyzer actually ran (running a subset, as the fixture
+	// tests do, must not condemn another analyzer's suppressions).
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	diags = append(diags, malformed...)
+	for _, dir := range allows.ordered {
+		if dir.used || !ran[dir.analyzer] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      dir.pos,
+			Message:  fmt.Sprintf("unused //lego:allow %s: no %s diagnostic on this or the next line", dir.analyzer, dir.analyzer),
+			Analyzer: AllowLintName,
+		})
+	}
+
 	sortDiagnostics(fset, diags)
 	return diags, nil
 }
 
-// suppressionKey locates one //lego:allow directive.
-type suppressionKey struct {
+// allowDirective is one parsed //lego:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	used     bool
+}
+
+// allowKey locates a directive by suppression site.
+type allowKey struct {
 	analyzer string
 	file     string
 	line     int
 }
 
-type suppressionSet map[suppressionKey]bool
-
-// allows reports whether a directive for the analyzer sits on the given
-// line or the line directly above it.
-func (s suppressionSet) allows(analyzer, file string, line int) bool {
-	return s[suppressionKey{analyzer, file, line}] ||
-		s[suppressionKey{analyzer, file, line - 1}]
+type allowIndex struct {
+	byKey   map[allowKey]*allowDirective
+	ordered []*allowDirective
 }
 
-// collectSuppressions indexes every well-formed //lego:allow directive in
-// the files by (analyzer, file, line).
-func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressionSet {
-	set := suppressionSet{}
+// match returns the directive for the analyzer sitting on the given line or
+// the line directly above it, if any.
+func (ai *allowIndex) match(analyzer, file string, line int) *allowDirective {
+	if d := ai.byKey[allowKey{analyzer, file, line}]; d != nil {
+		return d
+	}
+	return ai.byKey[allowKey{analyzer, file, line - 1}]
+}
+
+// collectAllows indexes every //lego:allow directive in the files. Comments
+// that start the directive but fail to parse come back as allowlint
+// diagnostics; directives in _test.go files are ignored entirely, matching
+// the finding filter.
+func collectAllows(fset *token.FileSet, files []*ast.File) (*allowIndex, []Diagnostic) {
+	ai := &allowIndex{byKey: map[allowKey]*allowDirective{}}
+	var malformed []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				name, ok := parseAllow(c.Text)
-				if !ok {
+				if !strings.HasPrefix(c.Text, "//lego:allow") {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				set[suppressionKey{name, pos.Filename, pos.Line}] = true
+				if strings.HasSuffix(pos.Filename, "_test.go") {
+					continue
+				}
+				name, reason, ok := parseAllow(c.Text)
+				if !ok {
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "malformed //lego:allow: want \"//lego:allow <analyzer> — <reason>\" with a non-empty reason",
+						Analyzer: AllowLintName,
+					})
+					continue
+				}
+				dir := &allowDirective{analyzer: name, reason: reason, pos: c.Pos()}
+				ai.byKey[allowKey{name, pos.Filename, pos.Line}] = dir
+				ai.ordered = append(ai.ordered, dir)
 			}
 		}
 	}
-	return set
+	return ai, malformed
 }
 
 // parseAllow parses "//lego:allow <analyzer> — <reason>", returning the
-// analyzer name. Directives without a reason are rejected: the reason is the
-// audit trail the suppression exists to preserve.
-func parseAllow(comment string) (analyzer string, ok bool) {
+// analyzer name and the reason text. Directives without a reason are
+// rejected: the reason is the audit trail the suppression exists to
+// preserve.
+func parseAllow(comment string) (analyzer, reason string, ok bool) {
 	text, ok := strings.CutPrefix(comment, "//lego:allow")
 	if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
-		return "", false
+		return "", "", false
 	}
 	fields := strings.Fields(text)
 	if len(fields) < 2 {
-		return "", false
+		return "", "", false
 	}
-	reason := fields[1:]
-	for len(reason) > 0 && (reason[0] == "—" || reason[0] == "-" || reason[0] == "--") {
-		reason = reason[1:]
+	rest := fields[1:]
+	for len(rest) > 0 && (rest[0] == "—" || rest[0] == "-" || rest[0] == "--") {
+		rest = rest[1:]
 	}
-	if len(reason) == 0 {
-		return "", false
+	if len(rest) == 0 {
+		return "", "", false
 	}
-	return fields[0], true
+	return fields[0], strings.Join(rest, " "), true
 }
 
 // HasDirective reports whether the comment group contains the given

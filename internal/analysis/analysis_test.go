@@ -49,21 +49,22 @@ func TestParseAllow(t *testing.T) {
 	cases := []struct {
 		comment string
 		name    string
+		reason  string
 		ok      bool
 	}{
-		{"//lego:allow detrange — caller sorts downstream", "detrange", true},
-		{"//lego:allow detrange - caller sorts downstream", "detrange", true},
-		{"//lego:allow walltime operator-facing timestamp", "walltime", true},
-		{"//lego:allow detrange", "", false},   // no reason
-		{"//lego:allow detrange —", "", false}, // dash but no reason
-		{"//lego:allowdetrange reason", "", false},
-		{"// lego:allow detrange reason", "", false}, // directives take no space
-		{"//lego:injector", "", false},
+		{"//lego:allow detrange — caller sorts downstream", "detrange", "caller sorts downstream", true},
+		{"//lego:allow detrange - caller sorts downstream", "detrange", "caller sorts downstream", true},
+		{"//lego:allow walltime operator-facing timestamp", "walltime", "operator-facing timestamp", true},
+		{"//lego:allow detrange", "", "", false},   // no reason
+		{"//lego:allow detrange —", "", "", false}, // dash but no reason
+		{"//lego:allowdetrange reason", "", "", false},
+		{"// lego:allow detrange reason", "", "", false}, // directives take no space
+		{"//lego:injector", "", "", false},
 	}
 	for _, c := range cases {
-		name, ok := parseAllow(c.comment)
-		if ok != c.ok || name != c.name {
-			t.Errorf("parseAllow(%q) = (%q, %v), want (%q, %v)", c.comment, name, ok, c.name, c.ok)
+		name, reason, ok := parseAllow(c.comment)
+		if ok != c.ok || name != c.name || reason != c.reason {
+			t.Errorf("parseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)", c.comment, name, reason, ok, c.name, c.reason, c.ok)
 		}
 	}
 }

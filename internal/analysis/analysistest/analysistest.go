@@ -4,15 +4,24 @@
 // the standard library's source importer so fixtures may import std
 // packages (math/rand, time, sort, …) without network access or vendoring.
 //
-// A fixture line may carry at most one expectation:
+// A fixture line may carry several expectations:
 //
-//	for k := range m { // want `iteration over map`
+//	for k := range m { // want `iteration over map` `second finding`
 //
 // Lines carrying a //lego:allow directive demonstrate suppression: the
-// framework drops the diagnostic, so the line must NOT carry a want.
+// framework marks the diagnostic Allowed, the runner drops it, and the line
+// must NOT carry a want.
+//
+// Fixture packages may import sibling fixture packages (any import path that
+// resolves to a directory under the same testdata/src). Dependencies are
+// analyzed first, depth-first, against a FactStore shared with the package
+// under test, so fixtures can exercise cross-package facts exactly as the
+// unitchecker does — only the serialization step is elided. Diagnostics are
+// asserted only for the named package, not its dependencies.
 package analysistest
 
 import (
+	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
@@ -37,16 +46,69 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
 		pkg := pkg
 		t.Run(pkg, func(t *testing.T) {
 			t.Helper()
-			runDir(t, a, filepath.Join("testdata", "src", pkg), pkg)
+			ld := newLoader(t, filepath.Join("testdata", "src"), a)
+			lp := ld.load(pkg)
+			checkWants(t, ld.fset, lp.files, lp.diags)
 		})
 	}
 }
 
-func runDir(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
-	t.Helper()
+// loadedPkg is one analyzed fixture package.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	diags []analysis.Diagnostic
+}
+
+// loader parses, type-checks, and analyzes fixture packages in dependency
+// order, sharing one FileSet, one FactStore, and one type-checked package
+// cache so objects keep their identity across the fixture import graph.
+type loader struct {
+	t        *testing.T
+	root     string
+	analyzer *analysis.Analyzer
+	fset     *token.FileSet
+	store    *analysis.FactStore
+	std      types.Importer
+	pkgs     map[string]*loadedPkg
+	loading  map[string]bool
+}
+
+func newLoader(t *testing.T, root string, a *analysis.Analyzer) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		t:        t,
+		root:     root,
+		analyzer: a,
+		fset:     fset,
+		store:    analysis.NewFactStore(),
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     map[string]*loadedPkg{},
+		loading:  map[string]bool{},
+	}
+}
+
+// isFixture reports whether the import path names a sibling fixture package.
+func (ld *loader) isFixture(path string) bool {
+	st, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+func (ld *loader) load(importPath string) *loadedPkg {
+	ld.t.Helper()
+	if lp, ok := ld.pkgs[importPath]; ok {
+		return lp
+	}
+	if ld.loading[importPath] {
+		ld.t.Fatalf("fixture import cycle through %q", importPath)
+	}
+	ld.loading[importPath] = true
+	defer delete(ld.loading, importPath)
+
+	dir := filepath.Join(ld.root, filepath.FromSlash(importPath))
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("reading fixture dir: %v", err)
+		ld.t.Fatalf("reading fixture dir: %v", err)
 	}
 	var names []string
 	for _, e := range entries {
@@ -56,26 +118,41 @@ func runDir(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		t.Fatalf("no fixture files in %s", dir)
+		ld.t.Fatalf("no fixture files in %s", dir)
 	}
 
-	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range names {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
-			t.Fatalf("parsing fixture: %v", err)
+			ld.t.Fatalf("parsing fixture: %v", err)
 		}
 		files = append(files, f)
 	}
 
-	src := importer.ForCompiler(fset, "source", nil)
+	// Analyze fixture dependencies first so their facts are in the store
+	// before the importer hands their package object to the type-checker.
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if ld.isFixture(path) {
+				ld.load(path)
+			}
+		}
+	}
+
 	conf := types.Config{
 		Importer: importerFunc(func(path string) (*types.Package, error) {
 			if path == "unsafe" {
 				return types.Unsafe, nil
 			}
-			return src.Import(path)
+			if lp, ok := ld.pkgs[path]; ok {
+				return lp.pkg, nil
+			}
+			if ld.isFixture(path) {
+				return nil, fmt.Errorf("fixture package %q not yet analyzed", path)
+			}
+			return ld.std.Import(path)
 		}),
 	}
 	info := &types.Info{
@@ -86,31 +163,32 @@ func runDir(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
-	pkg, err := conf.Check(importPath, fset, files, info)
+	pkg, err := conf.Check(importPath, ld.fset, files, info)
 	if err != nil {
-		t.Fatalf("type-checking fixture: %v", err)
+		ld.t.Fatalf("type-checking fixture %s: %v", importPath, err)
 	}
 
-	diags, err := analysis.Run(fset, files, pkg, info, []*analysis.Analyzer{a})
+	diags, err := analysis.Run(ld.fset, files, pkg, info, []*analysis.Analyzer{ld.analyzer}, ld.store)
 	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
+		ld.t.Fatalf("running %s on %s: %v", ld.analyzer.Name, importPath, err)
 	}
+	lp := &loadedPkg{pkg: pkg, files: files, diags: diags}
+	ld.pkgs[importPath] = lp
+	return lp
+}
 
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
 	wants := collectWants(t, fset, files)
 	matched := map[*want]bool{}
 	for _, d := range diags {
+		if d.Allowed {
+			continue // suppression demonstrated; the fixture carries no want
+		}
 		pos := fset.Position(d.Pos)
-		w := findWant(wants, pos.Filename, pos.Line)
+		w := findWant(wants, matched, pos.Filename, pos.Line, d.Message)
 		if w == nil {
 			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
-			continue
-		}
-		if matched[w] {
-			t.Errorf("%s: multiple diagnostics matched one want: %s", pos, d.Message)
-			continue
-		}
-		if !w.re.MatchString(d.Message) {
-			t.Errorf("%s: diagnostic %q does not match want %q", pos, d.Message, w.re)
 			continue
 		}
 		matched[w] = true
@@ -129,8 +207,11 @@ type want struct {
 }
 
 // wantRE matches want expectations in either quoting style:
-// `// want "re"` or "// want `re`".
-var wantRE = regexp.MustCompile("//\\s*want\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+// `// want "re"` or "// want `re`". A single comment may chain several
+// quoted patterns after one want keyword.
+var wantRE = regexp.MustCompile("//\\s*want\\s+((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+
+var wantPatternRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
 
 func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
 	t.Helper()
@@ -142,25 +223,30 @@ func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want 
 				if m == nil {
 					continue
 				}
-				expr := m[1]
-				if expr == "" {
-					expr = m[2]
-				}
-				re, err := regexp.Compile(expr)
-				if err != nil {
-					t.Fatalf("bad want regexp %q: %v", expr, err)
-				}
 				pos := fset.Position(c.Pos())
-				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				for _, pm := range wantPatternRE.FindAllStringSubmatch(m[1], -1) {
+					expr := pm[1]
+					if expr == "" {
+						expr = pm[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", expr, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
 			}
 		}
 	}
 	return wants
 }
 
-func findWant(wants []*want, file string, line int) *want {
+// findWant returns the first unmatched expectation on the line whose pattern
+// matches the message, or nil; a diagnostic whose message matches no free
+// expectation is reported verbatim as unexpected, which shows the mismatch.
+func findWant(wants []*want, matched map[*want]bool, file string, line int, msg string) *want {
 	for _, w := range wants {
-		if w.file == file && w.line == line {
+		if w.file == file && w.line == line && !matched[w] && w.re.MatchString(msg) {
 			return w
 		}
 	}

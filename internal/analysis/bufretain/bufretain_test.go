@@ -1,0 +1,12 @@
+package bufretain_test
+
+import (
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/analysis/analysistest"
+	"github.com/seqfuzz/lego/internal/analysis/bufretain"
+)
+
+func TestBufRetain(t *testing.T) {
+	analysistest.Run(t, bufretain.Analyzer, "engine", "caller")
+}

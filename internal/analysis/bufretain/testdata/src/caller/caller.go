@@ -1,0 +1,59 @@
+// Package caller exercises the bufretain retention rules against the engine
+// fixture's borrowed facts.
+package caller
+
+import "engine"
+
+type keeper struct {
+	res  []*engine.Result
+	outs []*engine.Outcome
+}
+
+var global []error
+
+// Retain stores borrowed buffers where they outlive the statement.
+func Retain(k *keeper) {
+	out := engine.Run()
+	k.res = out.Results // want `borrowed buffer Outcome\.Results stored to a field or package-level variable`
+	global = out.Errs   // want `borrowed buffer Outcome\.Errs stored to a field or package-level variable`
+}
+
+// Reslice shares the backing array; just as retained.
+func Reslice(k *keeper) {
+	out := engine.Run()
+	k.res = out.Results[1:] // want `borrowed buffer Outcome\.Results stored to a field or package-level variable`
+}
+
+// RetainWhole stores the struct (pointer) carrying the borrowed fields.
+func RetainWhole(k *keeper) {
+	out := engine.Run()
+	k.outs = append(k.outs, out) // want `value carrying borrowed field Outcome\.Results appended to another slice`
+}
+
+// Aggregate builds retained aggregates from borrowed values.
+func Aggregate() [][]*engine.Result {
+	out := engine.Run()
+	var acc [][]*engine.Result
+	acc = append(acc, out.Results)         // want `borrowed buffer Outcome\.Results appended to another slice`
+	bad := [][]*engine.Result{out.Results} // want `borrowed buffer Outcome\.Results stored in a composite literal`
+	return append(acc, bad...)
+}
+
+// ReadOnly does everything the contract permits: clean.
+func ReadOnly(k *keeper) int {
+	out := engine.Run()
+	n := out.Executed                     // plain value field
+	first := out.Results[0]               // element reads are fresh per statement
+	local := out.Results                  // locals die with the statement scope
+	k.res = append(k.res, out.Results...) // spread copies the elements
+	saved := make([]*engine.Result, len(out.Results))
+	copy(saved, out.Results) // the sanctioned copy-out
+	return n + first.N + len(local) + len(saved)
+}
+
+// Allowed retains deliberately and says why; the runner drops the Allowed
+// finding.
+func Allowed(k *keeper) {
+	out := engine.Run()
+	k.res = out.Results //lego:allow bufretain — single-shot CLI: the engine never runs again before exit
+}

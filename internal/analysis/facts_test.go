@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"bytes"
+	"testing"
+)
+
+// stubFact is a minimal serializable fact for store tests.
+type stubFact struct {
+	Tag string `json:"tag,omitempty"`
+}
+
+func (*stubFact) AFact() {}
+
+// otherFact exercises the one-fact-per-type slot behavior.
+type otherFact struct {
+	N int `json:"n,omitempty"`
+}
+
+func (*otherFact) AFact() {}
+
+var stubAnalyzer = &Analyzer{
+	Name:      "stub",
+	Doc:       "test analyzer",
+	Run:       func(*Pass) error { return nil },
+	FactTypes: []Fact{(*stubFact)(nil), (*otherFact)(nil)},
+}
+
+func TestFactStoreRoundTrip(t *testing.T) {
+	src := NewFactStore()
+	src.put("stub", ObjectKey{Pkg: "sqlast", Object: "SelectStmt"}, &stubFact{Tag: "memoized"})
+	src.put("stub", ObjectKey{Pkg: "sqlast", Object: "Outcome.Results"}, &stubFact{Tag: "borrowed"})
+	src.put("stub", ObjectKey{Pkg: "sqlast"}, &otherFact{N: 7})
+
+	data, err := src.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewFactStore()
+	if err := dst.Decode(data, []*Analyzer{stubAnalyzer}); err != nil {
+		t.Fatal(err)
+	}
+
+	var sf stubFact
+	if !dst.get("stub", ObjectKey{Pkg: "sqlast", Object: "SelectStmt"}, &sf) || sf.Tag != "memoized" {
+		t.Fatalf("object fact did not round-trip: %+v", sf)
+	}
+	if !dst.get("stub", ObjectKey{Pkg: "sqlast", Object: "Outcome.Results"}, &sf) || sf.Tag != "borrowed" {
+		t.Fatalf("field fact did not round-trip: %+v", sf)
+	}
+	var of otherFact
+	if !dst.get("stub", ObjectKey{Pkg: "sqlast"}, &of) || of.N != 7 {
+		t.Fatalf("package fact did not round-trip: %+v", of)
+	}
+
+	// Enumeration skips the package fact and sorts by object path.
+	kfs := dst.objectFacts("stub", "sqlast")
+	if len(kfs) != 2 || kfs[0].Key.Object != "Outcome.Results" || kfs[1].Key.Object != "SelectStmt" {
+		t.Fatalf("objectFacts = %+v", kfs)
+	}
+}
+
+func TestFactStoreEncodeDeterministic(t *testing.T) {
+	build := func() []byte {
+		s := NewFactStore()
+		s.put("stub", ObjectKey{Pkg: "b", Object: "Z"}, &stubFact{Tag: "z"})
+		s.put("stub", ObjectKey{Pkg: "a", Object: "Y"}, &stubFact{Tag: "y"})
+		s.put("stub", ObjectKey{Pkg: "a", Object: "X"}, &otherFact{N: 1})
+		data, err := s.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if a, b := build(), build(); !bytes.Equal(a, b) {
+		t.Fatalf("Encode is not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestFactStoreDecodeSkipsUnknown(t *testing.T) {
+	src := NewFactStore()
+	src.put("stub", ObjectKey{Pkg: "p", Object: "T"}, &stubFact{Tag: "keep"})
+	src.put("ghost", ObjectKey{Pkg: "p", Object: "T"}, &stubFact{Tag: "drop"})
+	data, err := src.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewFactStore()
+	if err := dst.Decode(data, []*Analyzer{stubAnalyzer}); err != nil {
+		t.Fatal(err)
+	}
+	var sf stubFact
+	if !dst.get("stub", ObjectKey{Pkg: "p", Object: "T"}, &sf) || sf.Tag != "keep" {
+		t.Fatal("known analyzer's fact lost")
+	}
+	if dst.get("ghost", ObjectKey{Pkg: "p", Object: "T"}, &sf) {
+		t.Fatal("unknown analyzer's fact should be skipped")
+	}
+}
+
+func TestFactStoreDecodeEmptyAndVersion(t *testing.T) {
+	s := NewFactStore()
+	if err := s.Decode(nil, []*Analyzer{stubAnalyzer}); err != nil {
+		t.Fatalf("empty input must decode to an empty store: %v", err)
+	}
+	if err := s.Decode([]byte(`{"version":99,"facts":[]}`), []*Analyzer{stubAnalyzer}); err == nil {
+		t.Fatal("version mismatch must fail loudly")
+	}
+}

@@ -1,0 +1,259 @@
+// Package hotalloc keeps the PR 6 hot paths allocation-free.
+//
+// A function whose doc comment carries //lego:hotpath declares that it runs
+// inside the per-statement scan/eval/render loop, where a single allocation
+// multiplies by the campaign's statement count. Inside such functions the
+// analyzer reports:
+//
+//   - fmt.Sprintf / Sprint / Sprintln / Errorf / Appendf anywhere (the
+//     formatter allocates even for static strings; hot code uses pre-sized
+//     strings.Builder or append)
+//   - inside any loop: make, new, map/slice composite literals, &T{...}
+//     (address-taken composites escape), string concatenation (+ / +=),
+//     string<->[]byte/[]rune conversions, closure literals, and append —
+//     unless the destination was made with an explicit capacity in the
+//     same function (the pre-size idiom `buf := make([]T, 0, n)`)
+//
+// Plain struct *value* literals in loops are fine (they stay on the stack),
+// as are allocations outside loops (one-time setup). A finding that is
+// intentional — a cold error path, a once-per-query allocation in a
+// statement loop — is suppressed the usual way:
+//
+//	//lego:allow hotalloc — error path, taken at most once per campaign
+//
+// The check is purely intra-function: annotate the loop bodies' helpers
+// separately if they must also stay clean.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/seqfuzz/lego/internal/analysis"
+)
+
+// Analyzer is the hotalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions annotated //lego:hotpath must not allocate in their loops",
+	Run:  run,
+}
+
+// fmtAllocators are the fmt helpers that always allocate their result.
+var fmtAllocators = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+	"Errorf":   true,
+	"Appendf":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			c := &checker{pass: pass, presized: presizedSlices(pass, fd.Body)}
+			c.block(fd.Body, 0)
+		}
+	}
+	return nil
+}
+
+// presizedSlices collects local slice variables made with an explicit
+// capacity anywhere in the function: appends to them are amortized O(1)
+// and allowed in loops.
+func presizedSlices(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || !analysis.IsBuiltin(pass.TypesInfo, call, "make") || len(call.Args) < 3 {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	presized map[types.Object]bool
+}
+
+// block walks statements tracking loop depth without recursing through
+// nested hotpath-irrelevant scopes twice.
+func (c *checker) block(n ast.Node, depth int) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.ForStmt:
+			if x.Init != nil {
+				c.block(x.Init, depth)
+			}
+			if x.Cond != nil {
+				c.exprTree(x.Cond, depth)
+			}
+			if x.Post != nil {
+				c.block(x.Post, depth+1)
+			}
+			c.block(x.Body, depth+1)
+			return false
+		case *ast.RangeStmt:
+			c.exprTree(x.X, depth)
+			c.block(x.Body, depth+1)
+			return false
+		case *ast.FuncLit:
+			if depth > 0 {
+				c.pass.Reportf(x.Pos(), "hotpath: closure literal in loop allocates per iteration")
+			}
+			c.block(x.Body, depth)
+			return false
+		default:
+			if e, ok := x.(ast.Expr); ok {
+				c.expr(e, depth)
+			}
+			if as, ok := x.(*ast.AssignStmt); ok {
+				c.assign(as, depth)
+			}
+		}
+		return true
+	})
+}
+
+// exprTree checks a whole expression subtree at the given depth.
+func (c *checker) exprTree(e ast.Expr, depth int) {
+	ast.Inspect(e, func(x ast.Node) bool {
+		if fl, ok := x.(*ast.FuncLit); ok {
+			if depth > 0 {
+				c.pass.Reportf(fl.Pos(), "hotpath: closure literal in loop allocates per iteration")
+			}
+			c.block(fl.Body, depth)
+			return false
+		}
+		if ex, ok := x.(ast.Expr); ok {
+			c.expr(ex, depth)
+		}
+		return true
+	})
+}
+
+// expr checks one expression node (non-recursively; the caller's Inspect
+// already walks children).
+func (c *checker) expr(e ast.Expr, depth int) {
+	info := c.pass.TypesInfo
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if fn := analysis.FuncFor(info, e.Fun); fn != nil {
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtAllocators[fn.Name()] {
+				c.pass.Reportf(e.Pos(), "hotpath: fmt.%s allocates; build strings with a pre-sized Builder or append", fn.Name())
+				return
+			}
+		}
+		if depth == 0 {
+			return
+		}
+		switch {
+		case analysis.IsBuiltin(info, e, "make"):
+			c.pass.Reportf(e.Pos(), "hotpath: make in loop allocates per iteration; hoist and reuse")
+		case analysis.IsBuiltin(info, e, "new"):
+			c.pass.Reportf(e.Pos(), "hotpath: new in loop allocates per iteration; hoist and reuse")
+		case analysis.IsBuiltin(info, e, "append"):
+			if len(e.Args) > 0 {
+				if id, ok := ast.Unparen(e.Args[0]).(*ast.Ident); ok {
+					obj := info.Uses[id]
+					if obj == nil {
+						obj = info.Defs[id]
+					}
+					if obj != nil && c.presized[obj] {
+						return
+					}
+				}
+			}
+			c.pass.Reportf(e.Pos(), "hotpath: append in loop without a capacity-presized destination may reallocate; pre-size with make(..., 0, n)")
+		default:
+			// String<->byte conversions: a call whose Fun is a type.
+			if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+				to := tv.Type.Underlying()
+				from := info.Types[e.Args[0]].Type
+				if from == nil {
+					return
+				}
+				fu := from.Underlying()
+				if (isString(to) && isByteOrRuneSlice(fu)) || (isByteOrRuneSlice(to) && isString(fu)) {
+					c.pass.Reportf(e.Pos(), "hotpath: string/[]byte conversion in loop copies per iteration")
+				}
+			}
+		}
+	case *ast.CompositeLit:
+		if depth == 0 {
+			return
+		}
+		t := info.Types[e].Type
+		if t == nil {
+			return
+		}
+		switch t.Underlying().(type) {
+		case *types.Map:
+			c.pass.Reportf(e.Pos(), "hotpath: map literal in loop allocates per iteration")
+		case *types.Slice:
+			c.pass.Reportf(e.Pos(), "hotpath: slice literal in loop allocates per iteration")
+		}
+	case *ast.UnaryExpr:
+		if depth > 0 && e.Op.String() == "&" {
+			if _, ok := e.X.(*ast.CompositeLit); ok {
+				c.pass.Reportf(e.Pos(), "hotpath: &composite literal in loop escapes to the heap per iteration")
+			}
+		}
+	case *ast.BinaryExpr:
+		if depth > 0 && e.Op.String() == "+" {
+			if t := info.Types[e].Type; t != nil && isString(t.Underlying()) {
+				c.pass.Reportf(e.Pos(), "hotpath: string concatenation in loop allocates; use a pre-sized Builder")
+			}
+		}
+	}
+}
+
+// assign catches `s += t` string growth, which BinaryExpr misses.
+func (c *checker) assign(as *ast.AssignStmt, depth int) {
+	if depth == 0 || as.Tok.String() != "+=" || len(as.Lhs) != 1 {
+		return
+	}
+	if t := c.pass.TypesInfo.Types[as.Lhs[0]].Type; t != nil && isString(t.Underlying()) {
+		c.pass.Reportf(as.Pos(), "hotpath: string += in loop allocates; use a pre-sized Builder")
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/analysis/analysistest"
+	"github.com/seqfuzz/lego/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "hot")
+}

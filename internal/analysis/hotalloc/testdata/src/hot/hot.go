@@ -1,0 +1,93 @@
+// Package hot exercises the hotalloc loop-allocation rules.
+package hot
+
+import (
+	"fmt"
+	"strings"
+)
+
+type point struct{ x, y int }
+
+// Join is hot and allocation-dirty: every loop iteration pays.
+//
+//lego:hotpath
+func Join(items []int) string {
+	s := ""
+	for _, it := range items {
+		s += fmt.Sprint(it) // want `hotpath: fmt\.Sprint allocates` `hotpath: string \+= in loop allocates`
+	}
+	return s
+}
+
+// Loops trips each in-loop allocation rule once.
+//
+//lego:hotpath
+func Loops(n int) int {
+	total := 0
+	out := make([]int, 0, n) // pre-sized at depth 0: clean
+	for i := 0; i < n; i++ {
+		out = append(out, i)         // presized destination: clean
+		m := make(map[string]int, 1) // want `hotpath: make in loop allocates per iteration`
+		b := []byte("x")             // want `hotpath: string/\[\]byte conversion in loop copies`
+		p := &point{i, i}            // want `hotpath: &composite literal in loop escapes`
+		extra := []int{i}            // want `hotpath: slice literal in loop allocates`
+		f := func() int { return i } // want `hotpath: closure literal in loop allocates`
+		var unsized []int
+		unsized = append(unsized, i) // want `hotpath: append in loop without a capacity-presized destination`
+		total += len(m) + len(b) + p.x + len(extra) + f() + len(unsized)
+	}
+	return total + len(out)
+}
+
+// Errf pays the formatter even outside a loop.
+//
+//lego:hotpath
+func Errf(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative: %d", n) // want `hotpath: fmt\.Errorf allocates`
+	}
+	return nil
+}
+
+// Builder is hot and clean: pre-sized Builder, no loop allocation.
+//
+//lego:hotpath
+func Builder(items []string) string {
+	var sb strings.Builder
+	sb.Grow(16 * len(items))
+	for _, it := range items {
+		sb.WriteString(it)
+	}
+	return sb.String()
+}
+
+// Cold has the same body as Join but no directive: clean.
+func Cold(items []int) string {
+	s := ""
+	for _, it := range items {
+		s += fmt.Sprint(it)
+	}
+	return s
+}
+
+// Retry allocates on a bounded path and suppresses the finding; the runner
+// drops Allowed diagnostics, so no want on the allow line.
+//
+//lego:hotpath
+func Retry(n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		out = append(out, "retry") //lego:allow hotalloc — bounded by the retry budget, not the row count
+	}
+	return out
+}
+
+// stale demonstrates allow hygiene: the first directive suppresses nothing,
+// the second is a directive-shaped typo.
+func stale() int {
+	x := 1 //lego:allow hotalloc — speculative suppression // want `unused //lego:allow hotalloc: no hotalloc diagnostic on this or the next line`
+	//lego:allowx hotalloc — typo in the directive name // want `malformed //lego:allow`
+	return x
+}
+
+var _ = stale

@@ -1,0 +1,12 @@
+package memoinvalidate_test
+
+import (
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/analysis/analysistest"
+	"github.com/seqfuzz/lego/internal/analysis/memoinvalidate"
+)
+
+func TestMemoInvalidate(t *testing.T) {
+	analysistest.Run(t, memoinvalidate.Analyzer, "mutator")
+}

@@ -1,0 +1,60 @@
+// Package mutator exercises memoinvalidate's coverage analysis against the
+// sqlast fixture's node facts.
+package mutator
+
+import "sqlast"
+
+// Bump mutates with no invalidation on any path: flagged.
+func Bump(q *sqlast.SelectStmt) {
+	q.Limit++ // want `write to sqlast node field q\.Limit may serve stale memoized SQL: no sqlast\.InvalidateSQL/InvalidateTestCase on any call path into Bump`
+}
+
+// SetWhere mutates and invalidates directly: clean.
+func SetWhere(q *sqlast.SelectStmt, w sqlast.Expr) {
+	q.Where = w
+	sqlast.InvalidateSQL(q)
+}
+
+// raiseLimit is private and only called under invalidating callers: clean.
+func raiseLimit(q *sqlast.SelectStmt) {
+	q.Limit += 10
+}
+
+// RaiseAll invalidates at the loop head, covering raiseLimit.
+func RaiseAll(tc []sqlast.Statement) {
+	sqlast.InvalidateTestCase(tc)
+	for _, s := range tc {
+		if q, ok := s.(*sqlast.SelectStmt); ok {
+			raiseLimit(q)
+		}
+	}
+}
+
+// orphanClear mutates in a private function nobody calls: flagged (no
+// covered caller exists to vouch for it).
+func orphanClear(q *sqlast.SelectStmt) {
+	q.Where = nil // want `write to sqlast node field q\.Where may serve stale memoized SQL`
+}
+
+// Fresh mutates a local built from a composite literal: the memo is cold by
+// construction, clean.
+func Fresh(limit int64) *sqlast.SelectStmt {
+	q := &sqlast.SelectStmt{}
+	q.Limit = limit
+	return q
+}
+
+// Copy mutates a stack value copy, not the shared AST: clean.
+func Copy(q *sqlast.SelectStmt) int64 {
+	plain := *q
+	plain.Limit = 0
+	return plain.Limit
+}
+
+// Tweak mutates a constructor result; not statically fresh, so it must be
+// suppressed explicitly — the runner drops the Allowed finding.
+func Tweak() *sqlast.SelectStmt {
+	q := sqlast.NewSelect(1)
+	q.Limit = 2 //lego:allow memoinvalidate — NewSelect returns a never-rendered node whose memo is still cold
+	return q
+}

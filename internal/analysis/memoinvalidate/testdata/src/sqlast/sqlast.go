@@ -1,0 +1,60 @@
+// Package sqlast is a miniature memoizing AST for the memoinvalidate
+// fixtures: one memoized statement, one plain expression, and the two
+// invalidators. Field writes here are constructors and exempt.
+package sqlast
+
+// Statement is the statement node interface.
+type Statement interface{ SQL() string }
+
+// Expr is the expression node interface.
+type Expr interface{ ExprSQL() string }
+
+// sqlMemo caches a rendered statement; the zero value is cold.
+type sqlMemo struct{ memoSQL string }
+
+func (m *sqlMemo) clearMemo() { m.memoSQL = "" }
+
+// memoized is satisfied by statements embedding sqlMemo.
+type memoized interface{ clearMemo() }
+
+// SelectStmt is a memoized node.
+type SelectStmt struct {
+	sqlMemo
+	Where Expr
+	Limit int64
+}
+
+// SQL implements Statement.
+func (s *SelectStmt) SQL() string {
+	if s.memoSQL == "" {
+		s.memoSQL = "SELECT"
+	}
+	return s.memoSQL
+}
+
+// Literal is a plain (unmemoized) expression node.
+type Literal struct{ Val int64 }
+
+// ExprSQL implements Expr.
+func (*Literal) ExprSQL() string { return "1" }
+
+// NewSelect builds a statement; writes in the owner package are exempt.
+func NewSelect(limit int64) *SelectStmt {
+	s := &SelectStmt{}
+	s.Limit = limit
+	return s
+}
+
+// InvalidateSQL clears the cached render of s.
+func InvalidateSQL(s Statement) {
+	if m, ok := s.(memoized); ok {
+		m.clearMemo()
+	}
+}
+
+// InvalidateTestCase clears every statement in the sequence.
+func InvalidateTestCase(tc []Statement) {
+	for _, s := range tc {
+		InvalidateSQL(s)
+	}
+}

@@ -1,0 +1,12 @@
+package nodeexhaustive_test
+
+import (
+	"testing"
+
+	"github.com/seqfuzz/lego/internal/analysis/analysistest"
+	"github.com/seqfuzz/lego/internal/analysis/nodeexhaustive"
+)
+
+func TestNodeExhaustive(t *testing.T) {
+	analysistest.Run(t, nodeexhaustive.Analyzer, "sqlast", "consumer")
+}

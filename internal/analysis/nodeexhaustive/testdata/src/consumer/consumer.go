@@ -1,0 +1,45 @@
+// Package consumer exercises nodeexhaustive across a package boundary: the
+// node inventory arrives as facts exported by the sqlast fixture, and types
+// implementing node interfaces here are foreign implementors.
+package consumer
+
+import "sqlast"
+
+// Rogue implements sqlast.Statement outside sqlast: flagged at the type.
+type Rogue struct{} // want `type Rogue implements sqlast\.Statement outside package sqlast`
+
+// SQL makes Rogue a Statement.
+func (*Rogue) SQL() string { return "ROGUE" }
+
+// dispatch covers every Statement: clean, driven entirely by imported facts.
+func dispatch(s sqlast.Statement) string {
+	//lego:exhaustive Statement
+	switch s.(type) {
+	case *sqlast.SelectStmt:
+		return "select"
+	case *sqlast.InsertStmt:
+		return "insert"
+	case *sqlast.ExplainStmt:
+		return "explain"
+	case *sqlast.BeginStmt:
+		return "begin"
+	}
+	return ""
+}
+
+// partialDispatch misses two statements.
+func partialDispatch(s sqlast.Statement) {
+	//lego:exhaustive Statement
+	switch s.(type) { // want `type switch is not exhaustive over sqlast\.Statement \(all mode\): missing BeginStmt, ExplainStmt`
+	case *sqlast.SelectStmt, *sqlast.InsertStmt:
+	}
+}
+
+// allowedDispatch misses a statement but suppresses the finding; the
+// fixture runner drops Allowed diagnostics, so no want here.
+func allowedDispatch(s sqlast.Statement) {
+	//lego:exhaustive Statement
+	switch s.(type) { //lego:allow nodeexhaustive — leaves are handled by the default arm
+	case *sqlast.SelectStmt, *sqlast.InsertStmt, *sqlast.ExplainStmt:
+	}
+}

@@ -11,14 +11,26 @@
 //     itself, so rebuilding the tool with changed analyzers invalidates
 //     cached vet results.
 //   - `legolint -flags` prints a JSON description of the analyzer flags the
-//     tool accepts (none), which cmd/go uses to validate its command line.
-//   - `legolint <unit>.cfg` analyzes one compilation unit.
+//     tool accepts (-json only), which cmd/go uses to validate its command
+//     line; `go vet -json -vettool=…` forwards -json through this channel.
+//   - `legolint [-json] <unit>.cfg` analyzes one compilation unit.
 //
 // Type information is rebuilt per unit with go/types, importing dependency
 // packages through importer.ForCompiler("gc", lookup) where lookup opens the
 // export-data files cmd/go names in the config — the same mechanism the real
 // unitchecker uses, minus the x/tools dependency (this build must work
 // offline, so x/tools cannot be fetched).
+//
+// # Facts
+//
+// Cross-package facts ride the same per-unit protocol: before analysis the
+// unit decodes the .vetx file of every dependency cmd/go lists in
+// PackageVetx, and after analysis it serializes its full fact store —
+// imported facts included, so transitive facts reach units that only see
+// direct dependencies — to VetxOutput. Dependency-only units (VetxOnly) run
+// the fact-exporting analyzers for their facts but report no findings;
+// standard-library units short-circuit with an empty store, since no repo
+// contract attaches facts to std objects.
 package unitchecker
 
 import (
@@ -33,6 +45,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"github.com/seqfuzz/lego/internal/analysis"
@@ -70,31 +83,98 @@ func Main(analyzers ...*analysis.Analyzer) {
 		os.Exit(0)
 	}
 	if len(args) == 1 && args[0] == "-flags" {
-		// No analyzer flags: cmd/go rejects any -<analyzer> flag up front.
-		fmt.Println("[]")
+		// The one tool flag cmd/go may forward: `go vet -json` becomes
+		// `legolint -json <unit>.cfg`.
+		fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit diagnostics as a JSON array on stdout"}]`)
 		os.Exit(0)
 	}
 	if len(args) == 1 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help") {
 		usage(progname, analyzers)
 		os.Exit(0)
 	}
-	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+	jsonOut := false
+	var cfgFile string
+	for _, a := range args {
+		switch {
+		case a == "-json" || a == "--json" || a == "-json=true" || a == "--json=true":
+			jsonOut = true
+		case a == "-json=false" || a == "--json=false":
+			jsonOut = false
+		case strings.HasSuffix(a, ".cfg") && cfgFile == "":
+			cfgFile = a
+		default:
+			usage(progname, analyzers)
+			os.Exit(1)
+		}
+	}
+	if cfgFile == "" {
 		usage(progname, analyzers)
 		os.Exit(1)
 	}
 
-	diags, err := runUnit(args[0], analyzers)
+	res, err := runUnit(cfgFile, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		os.Exit(1)
 	}
-	if len(diags.diags) > 0 {
-		for _, d := range diags.diags {
-			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", diags.fset.Position(d.Pos), d.Message, d.Analyzer)
+	if jsonOut {
+		// JSON mode reports everything — allowed findings included, with
+		// their suppression state — and always exits 0, mirroring
+		// `go vet -json`: the consumer decides what fails the build.
+		data, err := json.MarshalIndent(jsonDiagnostics(res.fset, res.diags), "", "\t")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
 		}
+		os.Stdout.Write(append(data, '\n'))
+		os.Exit(0)
+	}
+	failed := false
+	for _, d := range res.diags {
+		if d.Allowed {
+			continue
+		}
+		failed = true
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", res.fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if failed {
 		os.Exit(2)
 	}
 	os.Exit(0)
+}
+
+// JSONDiagnostic is one finding in `legolint -json` output. The array is
+// sorted by (file, line, col, analyzer) — same order as the text output —
+// so CI diffs and annotations are stable across runs.
+type JSONDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	AllowState string `json:"allow_state"` // "reported" | "allowed"
+	Reason     string `json:"reason,omitempty"`
+}
+
+func jsonDiagnostics(fset *token.FileSet, diags []analysis.Diagnostic) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		jd := JSONDiagnostic{
+			File:       pos.Filename,
+			Line:       pos.Line,
+			Col:        pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			AllowState: "reported",
+			Reason:     d.AllowReason,
+		}
+		if d.Allowed {
+			jd.AllowState = "allowed"
+		}
+		out = append(out, jd)
+	}
+	return out
 }
 
 func usage(progname string, analyzers []*analysis.Analyzer) {
@@ -129,15 +209,26 @@ func runUnit(cfgFile string, analyzers []*analysis.Analyzer) (unitResult, error)
 		return unitResult{}, fmt.Errorf("parsing %s: %w", cfgFile, err)
 	}
 
-	// cmd/go expects the facts file regardless of outcome; legolint's
-	// analyzers exchange no facts, so an empty one is always correct.
+	// cmd/go expects the facts file regardless of outcome; write an empty
+	// one up front so every early return leaves a valid (fact-free) vetx,
+	// then overwrite it with the real store after a successful run.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			return unitResult{}, err
 		}
 	}
-	if cfg.VetxOnly {
-		// Dependency-only unit: cmd/go wants facts, not findings.
+	exportsFacts := false
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			exportsFacts = true
+			break
+		}
+	}
+	if cfg.VetxOnly && (!exportsFacts || cfg.Standard[cfg.ImportPath]) {
+		// Dependency-only unit that cannot contribute facts: the repo's
+		// contracts attach facts to repo objects, never to std ones, so
+		// skip the typecheck entirely. (Non-std VetxOnly units still run
+		// the analyzers below — their facts are the whole point.)
 		return unitResult{}, nil
 	}
 
@@ -194,9 +285,48 @@ func runUnit(cfgFile string, analyzers []*analysis.Analyzer) (unitResult, error)
 		return unitResult{}, err
 	}
 
-	diags, err := analysis.Run(fset, files, pkg, info, analyzers)
+	// Import every dependency's facts before running. Missing vetx files are
+	// not an error: cmd/go omits entries for packages it knows are fact-free.
+	store := analysis.NewFactStore()
+	if exportsFacts {
+		// Deterministic import order (map iteration feeds error paths only,
+		// but keep it ordered on principle).
+		paths := make([]string, 0, len(cfg.PackageVetx))
+		for path := range cfg.PackageVetx {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			data, err := os.ReadFile(cfg.PackageVetx[path])
+			if err != nil {
+				if os.IsNotExist(err) {
+					continue
+				}
+				return unitResult{}, fmt.Errorf("reading facts of %s: %w", path, err)
+			}
+			if err := store.Decode(data, analyzers); err != nil {
+				return unitResult{}, fmt.Errorf("facts of %s: %w", path, err)
+			}
+		}
+	}
+
+	diags, err := analysis.Run(fset, files, pkg, info, analyzers, store)
 	if err != nil {
 		return unitResult{}, err
+	}
+
+	if cfg.VetxOutput != "" && exportsFacts {
+		data, err := store.Encode()
+		if err != nil {
+			return unitResult{}, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			return unitResult{}, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only unit: cmd/go wants facts, not findings.
+		return unitResult{fset: fset}, nil
 	}
 	return unitResult{fset: fset, diags: diags}, nil
 }

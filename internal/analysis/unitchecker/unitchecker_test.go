@@ -3,12 +3,14 @@ package unitchecker
 import (
 	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"github.com/seqfuzz/lego/internal/analysis"
 	"github.com/seqfuzz/lego/internal/analysis/detrange"
+	"github.com/seqfuzz/lego/internal/analysis/nodeexhaustive"
 )
 
 // writeUnit materializes a one-file package and its vet config, returning
@@ -74,8 +76,8 @@ func TestRunUnitReportsFindings(t *testing.T) {
 	}
 }
 
-// TestRunUnitVetxOnly asserts dependency-only units produce facts but no
-// findings and skip analysis entirely.
+// TestRunUnitVetxOnly asserts dependency-only units produce a vetx file but
+// no findings (fact-free analyzers let the unit skip analysis outright).
 func TestRunUnitVetxOnly(t *testing.T) {
 	cfgFile, vetx := writeUnit(t, violatingSrc, true)
 	res, err := runUnit(cfgFile, []*analysis.Analyzer{detrange.Analyzer})
@@ -87,6 +89,166 @@ func TestRunUnitVetxOnly(t *testing.T) {
 	}
 	if _, err := os.Stat(vetx); err != nil {
 		t.Fatalf("vetx facts file not written: %v", err)
+	}
+}
+
+const factDepSrc = `package sqlast
+
+type Statement interface{ SQL() string }
+
+type SelectStmt struct{}
+
+func (*SelectStmt) SQL() string { return "SELECT" }
+
+type BeginStmt struct{}
+
+func (*BeginStmt) SQL() string { return "BEGIN" }
+`
+
+const factConsumerSrc = `package consumer
+
+import "sqlast"
+
+func dispatch(s sqlast.Statement) {
+	//lego:exhaustive Statement
+	switch s.(type) {
+	case *sqlast.SelectStmt:
+	}
+}
+
+var _ = dispatch
+`
+
+// TestFactRoundTrip drives two units through the full vet protocol: the
+// sqlast unit runs VetxOnly and serializes its node facts; the consumer unit
+// type-checks sqlast from real gc export data, decodes the vetx file, and
+// must flag its non-exhaustive switch — which it can only do if the facts
+// survived the round-trip.
+func TestFactRoundTrip(t *testing.T) {
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not found: %v", err)
+	}
+	dir := t.TempDir()
+	depGo := filepath.Join(dir, "sqlast.go")
+	if err := os.WriteFile(depGo, []byte(factDepSrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	depA := filepath.Join(dir, "sqlast.a")
+	cmd := exec.Command(gobin, "tool", "compile", "-p", "sqlast", "-o", depA, depGo)
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("compiling dep export data: %v\n%s", err, out)
+	}
+
+	depVetx := filepath.Join(dir, "sqlast.vetx")
+	depCfg := Config{
+		ID: "sqlast", Compiler: "gc", ImportPath: "sqlast", GoVersion: "go1.22",
+		GoFiles:   []string{depGo},
+		ImportMap: map[string]string{}, PackageFile: map[string]string{},
+		VetxOnly: true, VetxOutput: depVetx,
+	}
+	writeCfg := func(name string, cfg Config) string {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	analyzers := []*analysis.Analyzer{nodeexhaustive.Analyzer}
+	res, err := runUnit(writeCfg("sqlast.cfg", depCfg), analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.diags) != 0 {
+		t.Fatalf("VetxOnly unit reported findings: %+v", res.diags)
+	}
+	vetxData, err := os.ReadFile(depVetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vetxData) == 0 {
+		t.Fatal("fact-exporting VetxOnly unit wrote an empty vetx")
+	}
+	check := analysis.NewFactStore()
+	if err := check.Decode(vetxData, analyzers); err != nil {
+		t.Fatalf("vetx does not decode: %v", err)
+	}
+
+	consGo := filepath.Join(dir, "consumer.go")
+	if err := os.WriteFile(consGo, []byte(factConsumerSrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	consCfg := Config{
+		ID: "consumer", Compiler: "gc", ImportPath: "consumer", GoVersion: "go1.22",
+		GoFiles:     []string{consGo},
+		ImportMap:   map[string]string{"sqlast": "sqlast"},
+		PackageFile: map[string]string{"sqlast": depA},
+		PackageVetx: map[string]string{"sqlast": depVetx},
+		VetxOutput:  filepath.Join(dir, "consumer.vetx"),
+	}
+	res, err = runUnit(writeCfg("consumer.cfg", consCfg), analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(res.diags), res.diags)
+	}
+	if !strings.Contains(res.diags[0].Message, "missing BeginStmt") {
+		t.Fatalf("unexpected message: %s", res.diags[0].Message)
+	}
+}
+
+const allowedSrc = `package corpus
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m { //lego:allow detrange — fixture exercises the allow channel
+		out = append(out, k)
+	}
+	return out
+}
+
+func keysAgain(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+// TestJSONDiagnostics asserts -json mode's shape: every finding appears,
+// allowed ones carry their state and reason, and order is deterministic.
+func TestJSONDiagnostics(t *testing.T) {
+	cfgFile, _ := writeUnit(t, allowedSrc, false)
+	res, err := runUnit(cfgFile, []*analysis.Analyzer{detrange.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jds := jsonDiagnostics(res.fset, res.diags)
+	if len(jds) != 2 {
+		t.Fatalf("got %d JSON diagnostics, want 2: %+v", len(jds), jds)
+	}
+	if jds[0].AllowState != "allowed" || jds[0].Reason == "" {
+		t.Fatalf("first diagnostic should be allowed with a reason: %+v", jds[0])
+	}
+	if jds[1].AllowState != "reported" || jds[1].Reason != "" {
+		t.Fatalf("second diagnostic should be reported: %+v", jds[1])
+	}
+	if jds[0].Line >= jds[1].Line || jds[0].Analyzer != "detrange" {
+		t.Fatalf("unexpected order or analyzer: %+v", jds)
+	}
+	data, err := json.Marshal(jds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"allow_state": "allowed"`) && !strings.Contains(string(data), `"allow_state":"allowed"`) {
+		t.Fatalf("serialized output missing allow_state: %s", data)
 	}
 }
 

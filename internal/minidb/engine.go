@@ -193,9 +193,13 @@ type Outcome struct {
 	// The slice aliases an engine-owned scratch buffer: it is valid only
 	// until the next RunTestCase call on the same engine. Callers that
 	// need results across runs must copy the slice first.
+	//
+	//lego:borrowed valid until the next RunTestCase on the same engine
 	Results []*Result
 	// Errs holds per-statement errors (nil entry on success). Same
 	// lifetime as Results: valid until the next RunTestCase call.
+	//
+	//lego:borrowed valid until the next RunTestCase on the same engine
 	Errs []error
 }
 
@@ -289,6 +293,7 @@ func (e *Engine) ExecStmt(s sqlast.Statement) (*Result, error) {
 }
 
 func (e *Engine) dispatch(s sqlast.Statement) (*Result, error) {
+	//lego:exhaustive Statement
 	switch st := s.(type) {
 	// DDL
 	case *sqlast.CreateTableStmt:

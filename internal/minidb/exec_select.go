@@ -19,12 +19,15 @@ type relation struct {
 	qkeys []string
 }
 
+// keyCache returns the qualified column keys, built once per relation.
+//
+//lego:hotpath
 func (r *relation) keyCache() []string {
 	if r.qkeys == nil {
 		r.qkeys = make([]string, len(r.cols))
 		for c := range r.cols {
 			if r.qual[c] != "" {
-				r.qkeys[c] = r.qual[c] + "." + r.cols[c]
+				r.qkeys[c] = r.qual[c] + "." + r.cols[c] //lego:allow hotalloc — builds the memoized r.qkeys exactly once per relation
 			}
 		}
 	}
@@ -51,6 +54,8 @@ func (r *relation) scopeRow(i int, parent *scope) *scope {
 // the scope (or its row map) past the enclosing eval call may use this;
 // retaining sites (group buckets, window partitions' group rows) must stay
 // on scopeRow.
+//
+//lego:hotpath
 func (r *relation) scopeRowInto(i int, parent *scope, sc *scope) *scope {
 	qk := r.keyCache()
 	if sc.row == nil {
@@ -377,6 +382,9 @@ func (e *Engine) execProjection(q *sqlast.SelectStmt, rel *relation, outer *scop
 	return out, cols, nil
 }
 
+// projectRow evaluates the SELECT items for one row.
+//
+//lego:hotpath
 func (e *Engine) projectRow(items []sqlast.SelectItem, rel *relation, rowIdx int, sc *scope, depth int) ([]Value, error) {
 	row := make([]Value, 0, len(items))
 	for _, it := range items {

@@ -393,6 +393,7 @@ func RewriteExpr(e Expr, f func(Expr) Expr) Expr {
 	if e == nil {
 		return nil
 	}
+	//lego:exhaustive Expr
 	switch x := e.(type) {
 	case *Literal, *ColRef, *Star:
 		// leaves

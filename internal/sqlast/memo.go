@@ -84,6 +84,7 @@ func InvalidateSQL(s Statement) {
 	if m, ok := s.(memoized); ok {
 		m.clearMemo()
 	}
+	//lego:exhaustive Statement children
 	switch v := s.(type) {
 	case *SelectStmt:
 		invalidateSelectParts(v)
@@ -193,6 +194,7 @@ func invalidateSelectParts(v *SelectStmt) {
 }
 
 func invalidateTableRef(t TableRef) {
+	//lego:exhaustive TableRef children
 	switch r := t.(type) {
 	case *JoinRef:
 		invalidateTableRef(r.L)
@@ -211,6 +213,7 @@ func invalidateExpr(e Expr) {
 		return
 	}
 	WalkExpr(e, func(x Expr) {
+		//lego:exhaustive Expr statements
 		switch q := x.(type) {
 		case *Subquery:
 			invalidateSelect(q.Query)

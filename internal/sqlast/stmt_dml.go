@@ -443,6 +443,7 @@ func (s *SelectStmt) Type() sqlt.Type {
 	return sqlt.Select
 }
 
+//lego:hotpath
 func (s *SelectStmt) render() string {
 	var sb strings.Builder
 	sb.Grow(64)

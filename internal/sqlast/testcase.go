@@ -52,6 +52,7 @@ func StatementTables(s Statement) []string {
 	var fromSelect func(q *SelectStmt)
 	fromExpr := func(e Expr) {
 		WalkExpr(e, func(x Expr) {
+			//lego:exhaustive Expr statements
 			switch v := x.(type) {
 			case *Subquery:
 				fromSelect(v.Query)
@@ -65,6 +66,7 @@ func StatementTables(s Statement) []string {
 		})
 	}
 	fromRef = func(r TableRef) {
+		//lego:exhaustive TableRef
 		switch v := r.(type) {
 		case *BaseTable:
 			add(v.Name)
@@ -97,6 +99,7 @@ func StatementTables(s Statement) []string {
 		fromSelect(q.Right)
 	}
 
+	//lego:exhaustive Statement children
 	switch v := s.(type) {
 	case *CreateTableStmt:
 		add(v.Name)
@@ -193,6 +196,36 @@ func StatementTables(s Statement) []string {
 	case *PrepareStmt:
 		for _, t := range StatementTables(v.Stmt) {
 			add(t)
+		}
+	case *CreateFunctionStmt:
+		fromExpr(v.Body)
+	case *CreateProcedureStmt:
+		for _, t := range StatementTables(v.Body) {
+			add(t)
+		}
+	case *CreateDomainStmt:
+		fromExpr(v.Check)
+	case *AlterSystemStmt:
+		fromExpr(v.Value)
+	case *SetVarStmt:
+		fromExpr(v.Value)
+	case *PragmaStmt:
+		fromExpr(v.Value)
+	case *CallStmt:
+		for _, a := range v.Args {
+			fromExpr(a)
+		}
+	case *DoStmt:
+		fromExpr(v.Body)
+	case *ExecuteStmt:
+		for _, a := range v.Args {
+			fromExpr(a)
+		}
+	case *ValuesStmtNode:
+		for _, row := range v.Rows {
+			for _, e := range row {
+				fromExpr(e)
+			}
 		}
 	}
 	return out
