@@ -91,7 +91,7 @@ benchall:
 # It runs in a scratch directory so the short-budget snapshot never
 # clobbers the committed BENCH_perf.json / BENCH_history.jsonl — those are
 # regenerated deliberately with `make benchall` runs from the repo root.
-PERF_FLOOR ?= 111000
+PERF_FLOOR ?= 198000
 perfgate:
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o "$$tmp/benchall" ./cmd/benchall && \

@@ -10,11 +10,15 @@
 package lego_test
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"github.com/seqfuzz/lego/internal/coverage"
+	"github.com/seqfuzz/lego/internal/minidb"
 	"github.com/seqfuzz/lego/internal/sqlast"
 	"github.com/seqfuzz/lego/internal/sqlparse"
+	"github.com/seqfuzz/lego/internal/sqlt"
 )
 
 // allocStmt is a representative hot-path statement: a join query with a
@@ -86,4 +90,42 @@ SELECT v1 FROM t1 WHERE (v2 = 2);
 		_, _ = m.Accumulate(tr)
 	})
 	tr.Reset()
+
+	// Coverage batch append and flush: steady-state zero. The batch buffer
+	// is pre-sized and reused; Flush only bumps existing tracer counters.
+	b := coverage.NewBatch(16)
+	check("Batch-flush", 0, func() {
+		for _, s := range sites {
+			b.Add(s)
+		}
+		tr.Flush(b)
+		tr.Reset()
+	})
+
+	// Compiled statement execution over a full (128-row) table. The ceiling
+	// is a fixed per-statement cost (result assembly, prepared machines,
+	// filtered rows) that does NOT scale with the scanned rows: per-row
+	// evaluation on the compiled path — slot reads, comparisons, coverage
+	// probes — must be allocation-free. On the interpreter this statement
+	// cost a scope map write per row per column.
+	eng := minidb.New(minidb.Config{Dialect: sqlt.DialectMySQL})
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE big (a INT, b INT);\n")
+	sb.WriteString("INSERT INTO big VALUES (0, 0)")
+	for i := 1; i < 128; i++ {
+		fmt.Fprintf(&sb, ", (%d, %d)", i, i*3)
+	}
+	sb.WriteString(";\n")
+	for _, s := range sqlparse.MustParseScript(sb.String()) {
+		if _, err := eng.ExecStmt(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel := sqlparse.MustParseScript("SELECT a, b FROM big WHERE a = 100 AND b > 50 ORDER BY b;")[0]
+	if _, err := eng.ExecStmt(sel); err != nil { // warm the plan cache
+		t.Fatal(err)
+	}
+	check("ExecStmt-compiled", 40, func() {
+		_, _ = eng.ExecStmt(sel)
+	})
 }

@@ -60,6 +60,12 @@ type Options struct {
 	// and must be contained by the harness instead of killing the
 	// campaign. Zero disables injection.
 	FaultRate float64
+	// DisablePlanCache turns off the engine's compiled-plan execution
+	// layer, running every expression through the tree-walking interpreter.
+	// Campaigns are byte-identical either way (the compiled path is
+	// coverage-equivalent by contract); this exists for baseline
+	// comparison.
+	DisablePlanCache bool
 
 	// RandomSequences is an ablation: instead of affinity-gated synthesis
 	// (Algorithm 3), step 2 instantiates uniformly random type sequences of
@@ -132,10 +138,11 @@ func newFuzzer(opts Options) *Fuzzer {
 		src:  src,
 		rng:  rng,
 		runner: harness.NewRunnerWithConfig(minidb.Config{
-			Dialect:       opts.Dialect,
-			EnableHazards: opts.Hazards,
-			FaultRate:     opts.FaultRate,
-			FaultSeed:     opts.Seed,
+			Dialect:          opts.Dialect,
+			EnableHazards:    opts.Hazards,
+			FaultRate:        opts.FaultRate,
+			FaultSeed:        opts.Seed,
+			DisablePlanCache: opts.DisablePlanCache,
 		}),
 		pool:  corpus.NewPool(rng),
 		lib:   lib,

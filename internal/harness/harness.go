@@ -49,6 +49,10 @@ type Runner struct {
 	// cfg rebuilds the engine after a contained panic (quarantine) and is
 	// recorded in checkpoints.
 	cfg minidb.Config
+
+	// retiredPlanStats accumulates plan-cache counters from engines retired
+	// by quarantine, so PlanStats covers the whole campaign.
+	retiredPlanStats minidb.PlanStats
 }
 
 // NewRunner builds a runner for one campaign.
@@ -130,8 +134,17 @@ func (r *Runner) runContained(tc sqlast.TestCase) (out minidb.Outcome) {
 // schedule.
 func (r *Runner) quarantine() {
 	faultState := r.Eng.FaultState()
+	r.retiredPlanStats.Add(r.Eng.PlanStats())
 	r.Eng = minidb.New(r.cfg)
 	r.Eng.SetFaultState(faultState)
+}
+
+// PlanStats reports the campaign's plan-cache counters, including engines
+// retired by quarantine.
+func (r *Runner) PlanStats() minidb.PlanStats {
+	s := r.retiredPlanStats
+	s.Add(r.Eng.PlanStats())
+	return s
 }
 
 // Branches returns the branch-coverage metric (distinct edges).

@@ -55,6 +55,12 @@ type Config struct {
 	// FaultSeed seeds the injector's private RNG (default 1), keeping
 	// fault schedules reproducible per campaign.
 	FaultSeed int64
+	// DisablePlanCache turns off the compiled-plan execution layer: every
+	// expression position runs the tree-walking interpreter directly, with
+	// no compilation at all. The compiled path is coverage- and
+	// result-equivalent by contract (compile.go), so this exists for
+	// baseline comparison and as an escape hatch, not for correctness.
+	DisablePlanCache bool
 }
 
 // session holds connection-scoped state.
@@ -126,6 +132,20 @@ type Engine struct {
 	// the next RunTestCase on the same engine (see Outcome docs).
 	resBuf []*Result
 	errBuf []error
+
+	// compiled-plan state (plan_cache.go). The cache survives reset():
+	// fuzzing replays near-identical statements across test cases, and
+	// cross-case reuse is the point. schemaFP/fpValid memoize the catalog
+	// structure fingerprint; any dispatch that can change structure marks
+	// it dirty.
+	plans    *planCache
+	schemaFP uint64
+	fpValid  bool
+
+	// covBatch accumulates probe hits per statement and flushes them to
+	// the tracer at statement end (or when full), replacing per-probe
+	// tracer calls on the hot path.
+	covBatch *coverage.Batch
 }
 
 // New creates an engine for the given configuration.
@@ -134,9 +154,10 @@ func New(cfg Config) *Engine {
 		cfg.Limits = DefaultLimits()
 	}
 	e := &Engine{
-		cfg:    cfg,
-		limits: cfg.Limits,
-		tracer: coverage.NewTracer(),
+		cfg:      cfg,
+		limits:   cfg.Limits,
+		tracer:   coverage.NewTracer(),
+		covBatch: coverage.NewBatch(covBatchCap), //lego:allow bufretain — the engine owns this batch for its lifetime; only Flush borrows its Sites
 	}
 	if cfg.EnableHazards {
 		e.hazards = bugsFor(cfg.Dialect)
@@ -169,9 +190,31 @@ func (e *Engine) reset() {
 	e.wcteNotifyRewrite = false
 	e.rowsInserted = 0
 	e.lastInsertTab = ""
+	e.fpValid = false
 }
 
-func (e *Engine) hit(s coverage.Site) { e.tracer.Hit(s) }
+// covBatchCap sizes the per-engine hit batch; a batch that reaches it is
+// flushed early so the buffer never grows past its pre-sizing.
+const covBatchCap = 4096
+
+// hit reports a probe site into the statement-local batch.
+//
+//lego:hotpath
+func (e *Engine) hit(s coverage.Site) {
+	e.covBatch.Add(s)
+	if e.covBatch.Len() >= covBatchCap {
+		e.tracer.Flush(e.covBatch)
+	}
+}
+
+// flushCov drains pending probe hits into the tracer. ExecStmt defers it so
+// the tracer is complete at statement end even when a hazard or injected
+// fault panics mid-statement.
+func (e *Engine) flushCov() {
+	if e.covBatch.Len() > 0 {
+		e.tracer.Flush(e.covBatch)
+	}
+}
 
 // Result is the output of one statement.
 type Result struct {
@@ -246,6 +289,7 @@ func (e *Engine) RunTestCase(tc sqlast.TestCase) (out Outcome) {
 // Statement-level SQL errors are returned; seeded-bug crashes panic with a
 // *BugReport (RunTestCase catches them).
 func (e *Engine) ExecStmt(s sqlast.Statement) (*Result, error) {
+	defer e.flushCov()
 	e.hit(pDispatch)
 	t := s.Type()
 	if !e.cfg.Dialect.Supports(t) {
@@ -293,6 +337,15 @@ func (e *Engine) ExecStmt(s sqlast.Statement) (*Result, error) {
 }
 
 func (e *Engine) dispatch(s sqlast.Statement) (*Result, error) {
+	// Any DDL or TCL dispatch — including trigger- and procedure-nested ones,
+	// which re-enter here — may change catalog structure, so the schema
+	// fingerprint goes stale before execution. Marking by category is
+	// deliberately coarse: recomputation is lazy and content-based, so a
+	// no-op COMMIT costs one fingerprint walk, not a cache clear.
+	switch s.Type().Category() {
+	case sqlt.CatDDL, sqlt.CatTCL:
+		e.fpValid = false
+	}
 	//lego:exhaustive Statement
 	switch st := s.(type) {
 	// DDL

@@ -326,11 +326,33 @@ func (e *Engine) fireTriggers(table string, tm sqlast.TriggerTime, ev sqlast.Tri
 // matchingRowIdxs returns indexes of rows satisfying where, in ORDER BY
 // order, truncated by limit (MySQL-style UPDATE/DELETE ... ORDER BY LIMIT).
 func (e *Engine) matchingRowIdxs(t *Table, where sqlast.Expr, orderBy []sqlast.OrderItem, limit sqlast.Expr) ([]int, error) {
+	// This runs before any trigger can fire for the statement, so the table
+	// layout computed here cannot go stale mid-scan. Rows shorter than the
+	// column list (table reshaped by an earlier statement's trigger) take the
+	// interpreter per row: rowScope truncates its bindings where a slot read
+	// would misresolve.
+	compiled := !e.cfg.DisablePlanCache
+	var lay layout
+	if compiled && (where != nil || len(orderBy) > 0) {
+		lay = e.tableLayout(t)
+	}
 	var idxs []int
+	var wProg *program
+	var wMach *machine
+	if compiled && where != nil {
+		wProg, wMach = e.preparedEval(where, lay, nil)
+	}
 	for ri, row := range t.Rows {
 		if where != nil {
-			sc := e.rowScope(t, row)
-			v, err := e.eval(where, sc, 0)
+			var v Value
+			var err error
+			if wProg != nil && len(row) >= len(t.Cols) {
+				wMach.bindRow(row)
+				v, err = wProg.code(wMach, 0)
+			} else {
+				sc := e.rowScope(t, row)
+				v, err = e.eval(where, sc, 0)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -341,9 +363,30 @@ func (e *Engine) matchingRowIdxs(t *Table, where sqlast.Expr, orderBy []sqlast.O
 		idxs = append(idxs, ri)
 	}
 	if len(orderBy) > 0 {
+		var obProgs []*program
+		var obMachs []*machine
+		if compiled {
+			obProgs = make([]*program, len(orderBy))
+			obMachs = make([]*machine, len(orderBy))
+			for k, ob := range orderBy {
+				obProgs[k], obMachs[k] = e.preparedEval(ob.X, lay, nil)
+			}
+		}
 		keys := make(map[int][]Value, len(idxs))
 		for _, ri := range idxs {
-			sc := e.rowScope(t, t.Rows[ri])
+			row := t.Rows[ri]
+			if compiled && len(row) >= len(t.Cols) {
+				for k := range obProgs {
+					obMachs[k].bindRow(row)
+					v, err := obProgs[k].code(obMachs[k], 0)
+					if err != nil {
+						return nil, err
+					}
+					keys[ri] = append(keys[ri], v)
+				}
+				continue
+			}
+			sc := e.rowScope(t, row)
 			for _, ob := range orderBy {
 				v, err := e.eval(ob.X, sc, 0)
 				if err != nil {
@@ -412,6 +455,23 @@ func (e *Engine) execUpdate(st *sqlast.UpdateStmt) (*Result, error) {
 		}
 		setIdx[i] = ci
 	}
+	// SET expressions compile only when no UPDATE trigger is registered:
+	// trigger bodies interleave with the per-row SET evaluation and may
+	// reshape the table, which would leave a pre-computed layout stale.
+	// Coercion stays exec-side (below), so no column type is baked in.
+	canCompileSets := !e.cfg.DisablePlanCache &&
+		len(e.cat.triggersFor(t.Name, sqlast.TriggerBefore, sqlast.TriggerUpdate)) == 0 &&
+		len(e.cat.triggersFor(t.Name, sqlast.TriggerAfter, sqlast.TriggerUpdate)) == 0
+	var setProgs []*program
+	var setMachs []*machine
+	if canCompileSets {
+		lay := e.tableLayout(t)
+		setProgs = make([]*program, len(st.Sets))
+		setMachs = make([]*machine, len(st.Sets))
+		for i, a := range st.Sets {
+			setProgs[i], setMachs[i] = e.preparedEval(a.Value, lay, nil)
+		}
+	}
 	touched := 0
 	for _, ri := range idxs {
 		if err := e.fireTriggers(t.Name, sqlast.TriggerBefore, sqlast.TriggerUpdate); err != nil {
@@ -422,9 +482,19 @@ func (e *Engine) execUpdate(st *sqlast.UpdateStmt) (*Result, error) {
 			continue
 		}
 		newRow := append([]Value(nil), t.Rows[ri]...)
-		sc := e.rowScope(t, t.Rows[ri])
+		var sc *scope
+		if !canCompileSets || len(t.Rows[ri]) < len(t.Cols) {
+			sc = e.rowScope(t, t.Rows[ri])
+		}
 		for i, a := range st.Sets {
-			v, err := e.eval(a.Value, sc, 0)
+			var v Value
+			var err error
+			if sc != nil {
+				v, err = e.eval(a.Value, sc, 0)
+			} else {
+				setMachs[i].bindRow(t.Rows[ri])
+				v, err = setProgs[i].code(setMachs[i], 0)
+			}
 			if err != nil {
 				return nil, err
 			}

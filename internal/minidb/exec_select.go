@@ -106,6 +106,9 @@ func (e *Engine) materializeInto(name string, cols []string, rows [][]Value) (*R
 	}
 	t.Rows = rows
 	e.cat.Tables[name] = t
+	// SELECT INTO is DQL-category but creates a table, so the schema
+	// fingerprint goes stale here rather than in dispatch.
+	e.fpValid = false
 	return &Result{Affected: len(rows), Msg: "SELECT INTO"}, nil
 }
 
@@ -143,18 +146,35 @@ func (e *Engine) execSelect(q *sqlast.SelectStmt, outer *scope, depth int) ([][]
 	if q.Where != nil {
 		e.planFilterPath(q, rel)
 		var filtered [][]Value
-		var rsc scope
-		for i := range rel.rows {
-			if err := e.chargeStep(); err != nil {
-				return nil, nil, err
+		if e.cfg.DisablePlanCache {
+			var rsc scope
+			for i := range rel.rows {
+				if err := e.chargeStep(); err != nil {
+					return nil, nil, err
+				}
+				sc := rel.scopeRowInto(i, outer, &rsc)
+				v, err := e.eval(q.Where, sc, depth+1)
+				if err != nil {
+					return nil, nil, err
+				}
+				if v.Truthy() {
+					filtered = append(filtered, rel.rows[i])
+				}
 			}
-			sc := rel.scopeRowInto(i, outer, &rsc)
-			v, err := e.eval(q.Where, sc, depth+1)
-			if err != nil {
-				return nil, nil, err
-			}
-			if v.Truthy() {
-				filtered = append(filtered, rel.rows[i])
+		} else {
+			p, m := e.preparedEval(q.Where, relLayout(rel), outer)
+			for i := range rel.rows {
+				if err := e.chargeStep(); err != nil {
+					return nil, nil, err
+				}
+				m.bindRow(rel.rows[i])
+				v, err := p.code(m, depth+1)
+				if err != nil {
+					return nil, nil, err
+				}
+				if v.Truthy() {
+					filtered = append(filtered, rel.rows[i])
+				}
 			}
 		}
 		rel = &relation{cols: rel.cols, qual: rel.qual, rows: filtered}
@@ -352,22 +372,68 @@ func (e *Engine) execProjection(q *sqlast.SelectStmt, rel *relation, outer *scop
 	}
 
 	out := make([][]Value, 0, len(rel.rows))
-	var rsc scope
-	for i := range rel.rows {
-		if err := e.chargeStep(); err != nil {
-			return nil, nil, err
+	if e.cfg.DisablePlanCache {
+		var rsc scope
+		for i := range rel.rows {
+			if err := e.chargeStep(); err != nil {
+				return nil, nil, err
+			}
+			sc := rel.scopeRowInto(i, outer, &rsc)
+			if winVals != nil {
+				sc.winVals = winVals[i]
+			}
+			row, err := e.projectRow(q.Items, rel, i, sc, depth)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, row)
+			if len(out) > e.limits.MaxResultRows {
+				break
+			}
 		}
-		sc := rel.scopeRowInto(i, outer, &rsc)
-		if winVals != nil {
-			sc.winVals = winVals[i]
+	} else if len(rel.rows) > 0 {
+		// One program + machine per item: items bind independent literal and
+		// fallback slots. Star items stay exec-side (projectRow copies them
+		// without evaluating, so there is nothing to compile).
+		lay := relLayout(rel)
+		progs := make([]*program, len(q.Items))
+		machs := make([]*machine, len(q.Items))
+		for k, it := range q.Items {
+			if _, ok := it.X.(*sqlast.Star); ok {
+				continue
+			}
+			progs[k], machs[k] = e.preparedEval(it.X, lay, outer)
 		}
-		row, err := e.projectRow(q.Items, rel, i, sc, depth)
-		if err != nil {
-			return nil, nil, err
-		}
-		out = append(out, row)
-		if len(out) > e.limits.MaxResultRows {
-			break
+		for i := range rel.rows {
+			if err := e.chargeStep(); err != nil {
+				return nil, nil, err
+			}
+			row := make([]Value, 0, len(q.Items))
+			for k, it := range q.Items {
+				if st, ok := it.X.(*sqlast.Star); ok {
+					for c := range rel.cols {
+						if st.Table != "" && rel.qual[c] != st.Table {
+							continue
+						}
+						row = append(row, rel.rows[i][c])
+					}
+					continue
+				}
+				mk := machs[k]
+				mk.bindRow(rel.rows[i])
+				if winVals != nil {
+					mk.winVals = winVals[i]
+				}
+				v, err := progs[k].code(mk, depth+1)
+				if err != nil {
+					return nil, nil, err
+				}
+				row = append(row, v)
+			}
+			out = append(out, row)
+			if len(out) > e.limits.MaxResultRows {
+				break
+			}
 		}
 	}
 	// SELECT with no FROM still yields one row.
@@ -537,21 +603,63 @@ func (e *Engine) computeWindows(items []sqlast.SelectItem, rel *relation, outer 
 }
 
 func (e *Engine) computeOneWindow(fc *sqlast.FuncCall, rel *relation, out []map[*sqlast.FuncCall]Value, outer *scope, depth int) error {
+	compiled := !e.cfg.DisablePlanCache
+	// Partition- and order-key expressions run once per row (order keys
+	// twice: the post-sort recompute reuses the same programs).
+	var partProgs, obProgs []*program
+	var partMachs, obMachs []*machine
+	if compiled {
+		lay := relLayout(rel)
+		if n := len(fc.Over.PartitionBy); n > 0 {
+			partProgs = make([]*program, n)
+			partMachs = make([]*machine, n)
+			for k, pe := range fc.Over.PartitionBy {
+				partProgs[k], partMachs[k] = e.preparedEval(pe, lay, outer)
+			}
+		}
+		if n := len(fc.Over.OrderBy); n > 0 {
+			obProgs = make([]*program, n)
+			obMachs = make([]*machine, n)
+			for k, ob := range fc.Over.OrderBy {
+				obProgs[k], obMachs[k] = e.preparedEval(ob.X, lay, outer)
+			}
+		}
+	}
+
 	// Partition rows.
 	parts := map[string][]int{}
 	var partOrder []string
 	var rsc scope
 	for i := range rel.rows {
-		sc := rel.scopeRowInto(i, outer, &rsc)
+		var sc *scope
+		if compiled {
+			// Replicate scopeRowInto's full-width access pattern.
+			if n := len(rel.cols); n > 0 {
+				_ = rel.rows[i][n-1]
+			}
+		} else {
+			sc = rel.scopeRowInto(i, outer, &rsc)
+		}
 		key := ""
 		if len(fc.Over.PartitionBy) > 0 {
 			var keys []Value
-			for _, pe := range fc.Over.PartitionBy {
-				v, err := e.eval(pe, sc, depth+1)
-				if err != nil {
-					return err
+			if compiled {
+				for k := range partProgs {
+					partMachs[k].bindRow(rel.rows[i])
+					v, err := partProgs[k].code(partMachs[k], depth+1)
+					if err != nil {
+						return err
+					}
+					keys = append(keys, v)
 				}
-				keys = append(keys, v)
+			} else {
+				for _, pe := range fc.Over.PartitionBy {
+					v, err := e.eval(pe, sc, depth+1)
+					if err != nil {
+						return err
+					}
+					keys = append(keys, v)
+				}
 			}
 			key = RowKey(keys)
 		}
@@ -561,6 +669,33 @@ func (e *Engine) computeOneWindow(fc *sqlast.FuncCall, rel *relation, out []map[
 		parts[key] = append(parts[key], i)
 	}
 
+	// orderKeysFor fills keys[n] for row i, on whichever path is active.
+	orderKeysFor := func(dst []Value, i int) ([]Value, error) {
+		if compiled {
+			if n := len(rel.cols); n > 0 {
+				_ = rel.rows[i][n-1]
+			}
+			for k := range obProgs {
+				obMachs[k].bindRow(rel.rows[i])
+				v, err := obProgs[k].code(obMachs[k], depth+1)
+				if err != nil {
+					return dst, err
+				}
+				dst = append(dst, v)
+			}
+			return dst, nil
+		}
+		sc := rel.scopeRowInto(i, outer, &rsc)
+		for _, ob := range fc.Over.OrderBy {
+			v, err := e.eval(ob.X, sc, depth+1)
+			if err != nil {
+				return dst, err
+			}
+			dst = append(dst, v)
+		}
+		return dst, nil
+	}
+
 	name := strings.ToUpper(fc.Name)
 	for _, key := range partOrder {
 		idxs := parts[key]
@@ -568,14 +703,11 @@ func (e *Engine) computeOneWindow(fc *sqlast.FuncCall, rel *relation, out []map[
 		if len(fc.Over.OrderBy) > 0 {
 			keys := make([][]Value, len(idxs))
 			for n, i := range idxs {
-				sc := rel.scopeRowInto(i, outer, &rsc)
-				for _, ob := range fc.Over.OrderBy {
-					v, err := e.eval(ob.X, sc, depth+1)
-					if err != nil {
-						return err
-					}
-					keys[n] = append(keys[n], v)
+				ks, err := orderKeysFor(keys[n], i)
+				if err != nil {
+					return err
 				}
+				keys[n] = ks
 			}
 			sort.SliceStable(idxs, func(a, b int) bool {
 				for k, ob := range fc.Over.OrderBy {
@@ -592,15 +724,11 @@ func (e *Engine) computeOneWindow(fc *sqlast.FuncCall, rel *relation, out []map[
 			// keys moved with idxs only when we re-fetch; recompute keys
 			// after the sort for rank ties.
 			for n, i := range idxs {
-				sc := rel.scopeRowInto(i, outer, &rsc)
-				keys[n] = keys[n][:0]
-				for _, ob := range fc.Over.OrderBy {
-					v, err := e.eval(ob.X, sc, depth+1)
-					if err != nil {
-						return err
-					}
-					keys[n] = append(keys[n], v)
+				ks, err := orderKeysFor(keys[n][:0], i)
+				if err != nil {
+					return err
 				}
+				keys[n] = ks
 			}
 			switch name {
 			case "RANK", "DENSE_RANK":
@@ -705,45 +833,120 @@ func (e *Engine) computeOneWindow(fc *sqlast.FuncCall, rel *relation, out []map[
 // 1:1 to source rows) — source columns that were projected away.
 func (e *Engine) sortRows(q *sqlast.SelectStmt, rows [][]Value, cols []string, srcRel *relation, outer *scope, depth int) error {
 	keys := make([][]Value, len(rows))
-	// One output-column map and one source scope serve the whole loop: rows
-	// of one result set share a length and column set, so overwriting is
-	// safe; a length change (defensive, shouldn't happen) forces a fresh map
-	// so no stale key from a longer row survives.
-	var m map[string]Value
-	var psc, ssc scope
-	lastLen := -1
-	for i, row := range rows {
-		if m == nil || len(row) != lastLen {
-			m = make(map[string]Value, len(cols))
-			lastLen = len(row)
-		}
-		for c, name := range cols {
-			if c < len(row) {
-				m[name] = row[c]
+	if e.cfg.DisablePlanCache {
+		// One output-column map and one source scope serve the whole loop:
+		// rows of one result set share a length and column set, so
+		// overwriting is safe; a length change (set-op arity mismatch) forces
+		// a fresh map so no stale key from a longer row survives.
+		var m map[string]Value
+		var psc, ssc scope
+		lastLen := -1
+		for i, row := range rows {
+			if m == nil || len(row) != lastLen {
+				m = make(map[string]Value, len(cols))
+				lastLen = len(row)
+			}
+			for c, name := range cols {
+				if c < len(row) {
+					m[name] = row[c]
+				}
+			}
+			parent := outer
+			if srcRel != nil {
+				parent = srcRel.scopeRowInto(i, outer, &psc)
+			}
+			ssc.row = m
+			ssc.parent = parent
+			sc := &ssc
+			for _, ob := range q.OrderBy {
+				ox := ob.X
+				if lit, ok := ox.(*sqlast.Literal); ok && lit.Kind == sqlast.LitInt &&
+					lit.Int >= 1 && int(lit.Int) <= len(row) {
+					keys[i] = append(keys[i], row[lit.Int-1])
+					continue
+				}
+				v, err := e.eval(ox, sc, depth+1)
+				if err != nil {
+					// fall back to NULL key: ORDER BY on a source column that
+					// was projected away sorts as NULL, a common lenient
+					// behaviour
+					v = Null()
+				}
+				keys[i] = append(keys[i], v)
 			}
 		}
-		parent := outer
+	} else if len(rows) > 0 {
+		// Compiled path: frame 0 is the output row (names bound forward, so
+		// last duplicate wins, matching the map above), frame 1 the source
+		// relation when order expressions may reach projected-away columns.
+		lay := layout{frames: []frame{{keys: cols, lastWins: true}}}
 		if srcRel != nil {
-			parent = srcRel.scopeRowInto(i, outer, &psc)
+			lay.frames = append(lay.frames, frame{keys: srcRel.cols, qkeys: srcRel.keyCache()})
 		}
-		ssc.row = m
-		ssc.parent = parent
-		sc := &ssc
-		for _, ob := range q.OrderBy {
-			ox := ob.X
-			if lit, ok := ox.(*sqlast.Literal); ok && lit.Kind == sqlast.LitInt &&
-				lit.Int >= 1 && int(lit.Int) <= len(row) {
-				keys[i] = append(keys[i], row[lit.Int-1])
-				continue
+		progs := make([]*program, len(q.OrderBy))
+		machs := make([]*machine, len(q.OrderBy))
+		for k, ob := range q.OrderBy {
+			progs[k], machs[k] = e.preparedEval(ob.X, lay, outer)
+		}
+		// Rows shorter than the column list (set-op arity mismatch) bind
+		// fewer names than the layout promises, so they take the interpreter
+		// map path per row — observationally identical, since the map never
+		// carries stale keys across rows of one length.
+		var m map[string]Value
+		var psc, ssc scope
+		lastLen := -1
+		for i, row := range rows {
+			short := len(row) < len(cols)
+			var sc *scope
+			if short {
+				if m == nil || len(row) != lastLen {
+					m = make(map[string]Value, len(cols))
+					lastLen = len(row)
+				}
+				for c, name := range cols {
+					if c < len(row) {
+						m[name] = row[c]
+					}
+				}
+				parent := outer
+				if srcRel != nil {
+					parent = srcRel.scopeRowInto(i, outer, &psc)
+				}
+				ssc.row = m
+				ssc.parent = parent
+				sc = &ssc
+			} else if srcRel != nil {
+				// Replicate scopeRowInto's full-width access on the source
+				// row before any key evaluation.
+				if n := len(srcRel.cols); n > 0 {
+					_ = srcRel.rows[i][n-1]
+				}
 			}
-			v, err := e.eval(ox, sc, depth+1)
-			if err != nil {
-				// fall back to NULL key: ORDER BY on a source column that
-				// was projected away sorts as NULL, a common lenient
-				// behaviour
-				v = Null()
+			for k, ob := range q.OrderBy {
+				ox := ob.X
+				if lit, ok := ox.(*sqlast.Literal); ok && lit.Kind == sqlast.LitInt &&
+					lit.Int >= 1 && int(lit.Int) <= len(row) {
+					keys[i] = append(keys[i], row[lit.Int-1])
+					continue
+				}
+				var v Value
+				var err error
+				if short {
+					v, err = e.eval(ox, sc, depth+1)
+				} else {
+					mk := machs[k]
+					mk.bindRow(row)
+					if srcRel != nil {
+						mk.rowB = srcRel.rows[i]
+					}
+					v, err = progs[k].code(mk, depth+1)
+				}
+				if err != nil {
+					// fall back to NULL key, as above
+					v = Null()
+				}
+				keys[i] = append(keys[i], v)
 			}
-			keys[i] = append(keys[i], v)
 		}
 	}
 	idx := make([]int, len(rows))
@@ -976,13 +1179,25 @@ func (e *Engine) joinRelations(j *sqlast.JoinRef, left, right *relation, outer *
 	// 20000 probed pairs.
 	pairRow := make([]Value, 0, len(out.cols))
 	probe := &relation{cols: out.cols, qual: out.qual, rows: [][]Value{nil}}
+	var onProg *program
+	var onMach *machine
+	if !e.cfg.DisablePlanCache {
+		onProg, onMach = e.preparedEval(j.On, relLayout(probe), outer)
+	}
 	var psc scope
 	matchRow := func(lrow, rrow []Value) (bool, error) {
 		pairBudget--
 		pairRow = append(append(pairRow[:0], lrow...), rrow...)
 		probe.rows[0] = pairRow
-		sc := probe.scopeRowInto(0, outer, &psc)
-		v, err := e.eval(j.On, sc, depth+1)
+		var v Value
+		var err error
+		if onProg != nil {
+			onMach.bindRow(pairRow)
+			v, err = onProg.code(onMach, depth+1)
+		} else {
+			sc := probe.scopeRowInto(0, outer, &psc)
+			v, err = e.eval(j.On, sc, depth+1)
+		}
 		if err != nil {
 			return false, err
 		}

@@ -1,0 +1,308 @@
+package minidb
+
+// Plan cache (DESIGN.md §9): compiled programs are cached per engine, keyed
+// by (expression shape, layout signature, schema fingerprint).
+//
+// The shape hash abstracts literal values — `x = 1` and `x = 'a'` share one
+// program whose literal slots the binder fills per execution — so the mutate
+// loop's value mutants all hit the cache. Column names, operators, CAST
+// target types, and structural arity are part of the shape because they are
+// baked into the closures. Fallback nodes (subqueries, function calls)
+// contribute only their tag: their program re-enters the interpreter on the
+// node bound at execution time, so any two subqueries share it.
+//
+// Invalidation is content-based rather than a counter: the schema
+// fingerprint hashes the catalog's table/column/type structure, and any
+// DDL- or TCL-category dispatch (plus SELECT INTO's materialization and the
+// per-test-case reset) marks it dirty for lazy recomputation. Fuzzing
+// recreates the same CREATE TABLE prologue case after case, so the
+// fingerprint converges and cross-case plan reuse stays hot; any ALTER,
+// DROP, rename, or rollback that actually changes structure yields a new
+// fingerprint, and plans compiled against the old schema can never be
+// looked up again. The cache is derived state: it is never checkpointed,
+// and a size cap clears it wholesale (deterministically) rather than
+// evicting by recency.
+
+import (
+	"sort"
+
+	"github.com/seqfuzz/lego/internal/sqlast"
+)
+
+// fnv64 offset/prime constants; two independent streams give a 128-bit hash
+// so shape collisions are out of reach for any campaign length.
+const (
+	fnvOffset1 = 14695981039346656037
+	fnvOffset2 = 9650029242287828579 // alternate offset basis
+	fnvPrime   = 1099511628211
+)
+
+// hash128 accumulates a 128-bit FNV-style hash: stream 1 is FNV-1a
+// (xor-then-multiply), stream 2 FNV-1 (multiply-then-xor) from a different
+// offset, making the two 64-bit halves effectively independent.
+type hash128 struct {
+	h1, h2 uint64
+}
+
+func newHash128() hash128 {
+	return hash128{h1: fnvOffset1, h2: fnvOffset2}
+}
+
+func (h *hash128) byte(b byte) {
+	h.h1 = (h.h1 ^ uint64(b)) * fnvPrime
+	h.h2 = (h.h2 * fnvPrime) ^ uint64(b)
+}
+
+func (h *hash128) str(s string) {
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+	h.byte(0xff) // terminator so "ab"+"c" differs from "a"+"bc"
+}
+
+func (h *hash128) int(n int) {
+	for i := 0; i < 4; i++ {
+		h.byte(byte(n >> (8 * i)))
+	}
+}
+
+// Shape tags, one per compiled form. InExpr splits by form because the list
+// form compiles to a real program while the subquery form is a fallback.
+const (
+	tagLiteral byte = iota + 1
+	tagColRef
+	tagStar
+	tagUnary
+	tagBinary
+	tagIsNull
+	tagLike
+	tagBetween
+	tagInList
+	tagInSubq
+	tagCase
+	tagCast
+	tagSubquery
+	tagExists
+	tagFuncCall
+	tagUnknown
+)
+
+// shapeHash folds x's compiled shape into h: node tags in preorder, plus
+// every detail a program bakes in (column keys, operators, flags, CAST
+// types, arity) — and nothing the binder supplies (literal values, fallback
+// node internals).
+func shapeHash(h *hash128, x sqlast.Expr) {
+	switch v := x.(type) {
+	case *sqlast.Literal:
+		h.byte(tagLiteral)
+	case *sqlast.ColRef:
+		h.byte(tagColRef)
+		h.str(v.Table)
+		h.str(v.Name)
+	case *sqlast.Star:
+		h.byte(tagStar)
+	case *sqlast.Unary:
+		h.byte(tagUnary)
+		h.str(v.Op)
+		shapeHash(h, v.X)
+	case *sqlast.Binary:
+		h.byte(tagBinary)
+		h.str(v.Op)
+		shapeHash(h, v.L)
+		shapeHash(h, v.R)
+	case *sqlast.IsNullExpr:
+		h.byte(tagIsNull)
+		h.byte(boolByte(v.Not))
+		shapeHash(h, v.X)
+	case *sqlast.LikeExpr:
+		h.byte(tagLike)
+		h.byte(boolByte(v.Not))
+		shapeHash(h, v.X)
+		shapeHash(h, v.Pattern)
+	case *sqlast.BetweenExpr:
+		h.byte(tagBetween)
+		h.byte(boolByte(v.Not))
+		shapeHash(h, v.X)
+		shapeHash(h, v.Lo)
+		shapeHash(h, v.Hi)
+	case *sqlast.InExpr:
+		if v.Query != nil {
+			h.byte(tagInSubq)
+			return
+		}
+		h.byte(tagInList)
+		h.byte(boolByte(v.Not))
+		h.int(len(v.List))
+		shapeHash(h, v.X)
+		for _, le := range v.List {
+			shapeHash(h, le)
+		}
+	case *sqlast.CaseExpr:
+		h.byte(tagCase)
+		h.byte(boolByte(v.Operand != nil))
+		h.int(len(v.Whens))
+		h.byte(boolByte(v.Else != nil))
+		if v.Operand != nil {
+			shapeHash(h, v.Operand)
+		}
+		for i := range v.Whens {
+			shapeHash(h, v.Whens[i].Cond)
+			shapeHash(h, v.Whens[i].Result)
+		}
+		if v.Else != nil {
+			shapeHash(h, v.Else)
+		}
+	case *sqlast.CastExpr:
+		h.byte(tagCast)
+		h.str(v.TypeName)
+		shapeHash(h, v.X)
+	case *sqlast.Subquery:
+		h.byte(tagSubquery)
+	case *sqlast.ExistsExpr:
+		h.byte(tagExists)
+	case *sqlast.FuncCall:
+		h.byte(tagFuncCall)
+	default:
+		h.byte(tagUnknown)
+	}
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// signature folds the layout into a 128-bit hash for the cache key; the full
+// layout is still compared on every hit (layout.equal).
+func (l *layout) signature() (uint64, uint64) {
+	h := newHash128()
+	h.int(len(l.frames))
+	for i := range l.frames {
+		f := &l.frames[i]
+		h.byte(boolByte(f.lastWins))
+		h.byte(boolByte(f.qkeys != nil))
+		h.int(len(f.keys))
+		for c := range f.keys {
+			h.str(f.keys[c])
+			if f.qkeys != nil {
+				h.str(f.qkeys[c])
+			}
+		}
+	}
+	return h.h1, h.h2
+}
+
+// planKey is the full cache key.
+type planKey struct {
+	s1, s2 uint64 // expression shape
+	l1, l2 uint64 // layout signature
+	fp     uint64 // schema fingerprint
+}
+
+// planCacheCap bounds the per-engine cache. Reaching it clears the whole map
+// — deterministic, unlike recency eviction — and in practice a campaign's
+// working set of (shape, layout) pairs is far smaller.
+const planCacheCap = 4096
+
+// planCache holds one engine's compiled programs and counters.
+type planCache struct {
+	m        map[planKey]*program
+	hits     uint64
+	misses   uint64
+	compiles uint64
+}
+
+// PlanStats reports plan-cache effectiveness for one engine (or, summed,
+// one campaign).
+type PlanStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Compiles uint64 `json:"compiles"`
+}
+
+// Add accumulates other into s.
+func (s *PlanStats) Add(o PlanStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Compiles += o.Compiles
+}
+
+// PlanStats returns the engine's plan-cache counters.
+func (e *Engine) PlanStats() PlanStats {
+	if e.plans == nil {
+		return PlanStats{}
+	}
+	return PlanStats{Hits: e.plans.hits, Misses: e.plans.misses, Compiles: e.plans.compiles}
+}
+
+// compiledFor returns the program for x against lay, consulting the cache.
+// A hit is verified against the full layout; a verified mismatch (a true
+// 128-bit collision, or a layout collision) recompiles and overwrites.
+func (e *Engine) compiledFor(x sqlast.Expr, lay layout) *program {
+	if e.plans == nil {
+		e.plans = &planCache{m: make(map[planKey]*program, 64)}
+	}
+	h := newHash128()
+	shapeHash(&h, x)
+	l1, l2 := lay.signature()
+	key := planKey{s1: h.h1, s2: h.h2, l1: l1, l2: l2, fp: e.schemaFingerprint()}
+	if p, ok := e.plans.m[key]; ok && p.lay.equal(&lay) {
+		e.plans.hits++
+		return p
+	}
+	e.plans.misses++
+	p := compileProgram(e, x, lay)
+	e.plans.compiles++
+	if len(e.plans.m) >= planCacheCap {
+		e.plans.m = make(map[planKey]*program, 64)
+	}
+	e.plans.m[key] = p
+	return p
+}
+
+// schemaFingerprint returns the content hash of the catalog structure a
+// program could depend on: table names and their column names and declared
+// types, in sorted order. Recomputed lazily after any dispatch that may have
+// changed structure (see Engine.dispatch and reset).
+func (e *Engine) schemaFingerprint() uint64 {
+	if e.fpValid {
+		return e.schemaFP
+	}
+	names := make([]string, 0, len(e.cat.Tables))
+	for n := range e.cat.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := newHash128()
+	for _, n := range names {
+		t := e.cat.Tables[n]
+		h.str(n)
+		h.int(len(t.Cols))
+		for ci := range t.Cols {
+			h.str(t.Cols[ci].Name)
+			h.str(t.Cols[ci].TypeName)
+		}
+	}
+	e.schemaFP = h.h1
+	e.fpValid = true
+	return e.schemaFP
+}
+
+// preparedEval compiles (or fetches) x against lay and returns the program
+// with a machine bound for this statement execution: literal and fallback
+// slots filled, dynamic outer chain attached. Callers bind rows per row via
+// machine.bindRow and run p.code.
+func (e *Engine) preparedEval(x sqlast.Expr, lay layout, outer *scope) (*program, *machine) {
+	p := e.compiledFor(x, lay)
+	m := &machine{e: e, outer: outer, lay: &p.lay}
+	if p.nlits > 0 {
+		m.lits = make([]Value, 0, p.nlits)
+	}
+	if p.nfalls > 0 {
+		m.falls = make([]sqlast.Expr, 0, p.nfalls)
+	}
+	m.bind(x)
+	return p, m
+}

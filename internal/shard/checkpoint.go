@@ -148,8 +148,7 @@ func Resume(opts Options, st *checkpoint.State) (*Executor, error) {
 		}
 	}
 	e.curve = core.ImportCurve(st.Curve)
-	// The restored states are barrier states: they are also the snapshots a
-	// failed first post-resume epoch would re-run from.
-	e.refreshSnaps()
+	// The restored states are barrier states; if supervision is armed, the
+	// first runEpoch re-snapshots them lazily before any worker runs.
 	return e, nil
 }

@@ -44,6 +44,7 @@ import (
 	"github.com/seqfuzz/lego/internal/corpus"
 	"github.com/seqfuzz/lego/internal/coverage"
 	"github.com/seqfuzz/lego/internal/harness"
+	"github.com/seqfuzz/lego/internal/minidb"
 	"github.com/seqfuzz/lego/internal/oracle"
 	"github.com/seqfuzz/lego/internal/sqlparse"
 	"github.com/seqfuzz/lego/internal/triage"
@@ -130,6 +131,10 @@ type Executor struct {
 
 	// Supervision plane (see supervise.go). snaps[i] is shard i's state at
 	// the last merge barrier — the point a failed epoch re-runs from.
+	// Snapshots are taken lazily at epoch start and only while supervision
+	// is armed (chaos plane or test fault hook): an unsupervised campaign
+	// never pays the per-barrier Snapshot cost. snapEpoch is the epoch the
+	// current snapshots were taken for (-1: none taken yet).
 	// retries[i] counts epoch re-runs spent against MaxEpochRetries, and
 	// quarantined[i] marks a shard whose budget is exhausted: it holds its
 	// last-good state (already merged at a prior barrier) and no longer runs
@@ -137,6 +142,7 @@ type Executor struct {
 	// injected-fault schedule and the (possibly fault-injecting) filesystem
 	// checkpoint saves should route through.
 	snaps       []*checkpoint.State
+	snapEpoch   int
 	retries     []int
 	quarantined []bool
 	incidents   []harness.Incident
@@ -173,10 +179,11 @@ func New(opts Options) *Executor {
 // opts must already be filled.
 func newExecutor(opts Options) *Executor {
 	e := &Executor{
-		opts:   opts,
-		global: coverage.NewMap(),
-		oracle: oracle.New(),
-		fs:     checkpoint.OS,
+		opts:      opts,
+		global:    coverage.NewMap(),
+		oracle:    oracle.New(),
+		fs:        checkpoint.OS,
+		snapEpoch: -1,
 	}
 	if opts.ChaosRate != 0 {
 		e.chaos = chaos.New(opts.ChaosRate, opts.ChaosSeed)
@@ -395,8 +402,10 @@ func (e *Executor) mergeBarrier() {
 		e.curve = append(e.curve, harness.CurvePoint{Execs: ex, Edges: e.global.EdgeCount()})
 	}
 
-	// The post-merge states are what a failed next epoch re-runs from.
-	e.refreshSnaps()
+	// The post-merge states are what a failed next epoch re-runs from, but
+	// they are snapshotted lazily (runEpoch, when supervision is armed)
+	// rather than here: an unsupervised campaign never needs them, and
+	// Snapshot dominated barrier cost when taken unconditionally.
 }
 
 // Triage runs the crash triage pipeline over the merged global oracle on a
@@ -441,6 +450,16 @@ func (e *Executor) EnginePanics() int {
 		total += sh.Runner().EnginePanics
 	}
 	return total
+}
+
+// PlanStats returns the plan-cache counters summed across shards,
+// including engines retired by quarantine within each shard.
+func (e *Executor) PlanStats() minidb.PlanStats {
+	var s minidb.PlanStats
+	for _, sh := range e.shards {
+		s.Add(sh.Runner().PlanStats())
+	}
+	return s
 }
 
 // Branches returns the global branch-coverage metric.

@@ -41,6 +41,13 @@ type plan struct {
 	stallFrac float64
 }
 
+// supervised reports whether anything can make a worker fail mid-epoch:
+// the chaos plane is armed, or a test installed a fault hook. Only then
+// are barrier snapshots needed for restore.
+func (e *Executor) supervised() bool {
+	return e.chaos != nil || e.testFault != nil
+}
+
 func (e *Executor) plan(epoch, shard, attempt int) plan {
 	p := plan{attempt: attempt}
 	if e.chaos == nil {
@@ -64,6 +71,14 @@ type workerFailure struct {
 // only place the executor spawns goroutines; the WaitGroup barrier in each
 // round is the campaign's entire synchronization surface.
 func (e *Executor) runEpoch(targets []int) {
+	// Barrier snapshots exist to re-run failed epochs, and epochs can only
+	// fail under supervision (the chaos plane or the test fault hook). Take
+	// them lazily here — the shards are exactly in their post-barrier states
+	// — so an unsupervised campaign skips the Snapshot cost entirely.
+	if e.supervised() && e.snapEpoch != e.epoch {
+		e.refreshSnaps()
+		e.snapEpoch = e.epoch
+	}
 	end := (e.epoch + 1) * e.opts.EpochStmts
 	attempts := make([]int, len(e.shards))
 	for {
@@ -196,6 +211,9 @@ func (e *Executor) runWorker(i, budget int, p plan) (fail *workerFailure) {
 // Snapshot machinery under the same options, so a restore failure is a
 // programming error, not an operational condition.
 func (e *Executor) restore(i int) {
+	if e.snaps == nil || e.snaps[i] == nil {
+		panic(fmt.Sprintf("shard: restore shard %d: no barrier snapshot (supervision not armed at epoch start?)", i))
+	}
 	f, err := core.Resume(e.coreOpts(i), e.snaps[i])
 	if err != nil {
 		panic(fmt.Sprintf("shard: restore shard %d from barrier snapshot: %v", i, err))

@@ -117,6 +117,12 @@ type Config struct {
 	// MaxEpochRetries is the cumulative per-shard retry budget in epoch
 	// re-runs (default 3; negative means quarantine on first failure).
 	MaxEpochRetries int
+	// DisablePlanCache turns off the engine's compiled-plan execution layer
+	// and runs every expression through the tree-walking interpreter.
+	// Campaign reports and checkpoints are byte-identical either way (the
+	// compiled path fires identical coverage by contract); the flag exists
+	// for throughput baselining and as an escape hatch.
+	DisablePlanCache bool
 }
 
 // Bug describes one deduplicated crash.
@@ -229,6 +235,7 @@ func (cfg Config) options() core.Options {
 		Hazards:                   !cfg.DisableHazards,
 		SplitLongSeeds:            cfg.SplitLongSeeds,
 		FaultRate:                 cfg.FaultRate,
+		DisablePlanCache:          cfg.DisablePlanCache,
 	}
 }
 
